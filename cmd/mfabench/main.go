@@ -1,0 +1,124 @@
+// Command mfabench regenerates the paper's evaluation: Tables I and V
+// and Figures 2-5. Each experiment prints the same rows or series the
+// paper reports; EXPERIMENTS.md interprets the expected shapes.
+//
+// Usage:
+//
+//	mfabench -exp all
+//	mfabench -exp table5 -sets C7p,C8
+//	mfabench -exp fig4 -scale 0.25    # smaller traces, faster run
+//	mfabench -exp fig5 -bytes 524288
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"matchfilter/internal/bench"
+	"matchfilter/internal/patterns"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mfabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, all")
+	setsFlag := flag.String("sets", "", "comma-separated pattern sets (default: all seven)")
+	scale := flag.Float64("scale", 0.25, "trace size scale for fig4")
+	bytesN := flag.Int("bytes", 1<<20, "stream length per measurement for fig5")
+	seed := flag.Int64("seed", 1, "seed for fig5 traffic")
+	flag.Parse()
+
+	var sets []string
+	if *setsFlag != "" {
+		sets = strings.Split(*setsFlag, ",")
+	}
+
+	wants := func(name string) bool { return *exp == "all" || *exp == name }
+	out := os.Stdout
+
+	if wants("table1") {
+		if err := bench.TableI(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("table2") {
+		if err := bench.TablesIIToIV(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if wants("prefilter") {
+		if err := bench.PrefilterComparison(out, sets, *bytesN/4, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	needsBuild := wants("table5") || wants("fig2") || wants("fig3") ||
+		wants("fig4") || wants("fig5") || wants("active")
+	if !needsBuild {
+		return nil
+	}
+
+	fmt.Fprintf(out, "building engines for %s...\n", setsOrAll(sets))
+	start := time.Now()
+	engines, err := bench.BuildAll(sets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "built in %v\n\n", time.Since(start))
+
+	if wants("table5") {
+		if err := bench.TableV(out, engines); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("fig2") {
+		if err := bench.Figure2(out, engines); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("fig3") {
+		if err := bench.Figure3(out, engines); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("fig4") {
+		if _, err := bench.Figure4(out, engines, bench.DefaultTraces(*scale)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("fig5") {
+		if _, err := bench.Figure5(out, engines, *bytesN, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if wants("active") {
+		if _, err := bench.ActiveStates(out, engines, *bytesN/4, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func setsOrAll(sets []string) string {
+	if len(sets) == 0 {
+		return strings.Join(patterns.Names(), ",")
+	}
+	return strings.Join(sets, ",")
+}

@@ -1,0 +1,152 @@
+// Command mfabuild compiles a pattern set into a Match Filtering
+// Automaton and prints its construction statistics (the per-set numbers
+// behind Table V and Figures 2-3).
+//
+// Usage:
+//
+//	mfabuild -set C7p                 # a built-in Table V set
+//	mfabuild -rules rules.txt         # one pattern per line, # comments
+//	mfabuild -set S24 -filters        # additionally dump the filter program
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/regexparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mfabuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
+	rulesFile := flag.String("rules", "", "file with one pattern per line (# starts a comment)")
+	showFilters := flag.Bool("filters", false, "dump the generated filter program")
+	showFragments := flag.Bool("fragments", false, "list the decomposed fragments")
+	maxStates := flag.Int("max-states", 0, "DFA state budget (0 = default)")
+	output := flag.String("o", "", "write the compiled engine to this file for mfascan -engine")
+	flag.Parse()
+
+	rules, sources, err := loadRules(*set, *rulesFile)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	opts.DFA.MaxStates = *maxStates
+	m, err := core.Compile(rules, opts)
+	if err != nil {
+		return err
+	}
+
+	st := m.Stats()
+	fmt.Printf("patterns:        %d\n", st.NumRules)
+	fmt.Printf("fragments:       %d (decomposed rules: %d)\n", st.NumFragments, st.Split.RulesDecomposed)
+	fmt.Printf("  dot-star splits:        %d\n", st.Split.DotStarSplits)
+	fmt.Printf("  almost-dot-star splits: %d\n", st.Split.AlmostSplits)
+	fmt.Printf("  refused (overlap/infix/class/X-in-B/X-final/cascade): %d/%d/%d/%d/%d/%d\n",
+		st.Split.RefusedOverlap, st.Split.RefusedInfix, st.Split.RefusedClassSize,
+		st.Split.RefusedXInB, st.Split.RefusedXFinalInA, st.Split.RefusedCascade)
+	fmt.Printf("NFA states:      %d\n", st.NFAStates)
+	fmt.Printf("MFA states:      %d\n", st.DFAStates)
+	fmt.Printf("memory bits (w): %d\n", st.MemBits)
+	fmt.Printf("internal ids:    %d\n", st.InternalIDs)
+	fmt.Printf("image:           %.3f MB (DFA %.3f MB + filters %.4f MB)\n",
+		mb(st.MemoryImageBytes()), mb(st.DFABytes), mb(st.FilterBytes))
+	fmt.Printf("build time:      %v (split %v, subset construction %v)\n",
+		st.BuildTime, st.SplitTime, st.DFATime)
+
+	if *showFragments {
+		fmt.Println("\nrules:")
+		for i, src := range sources {
+			fmt.Printf("  %3d: %s\n", i+1, src)
+		}
+	}
+	if *showFilters {
+		fmt.Println("\nfilter program:")
+		fmt.Print(m.Program().String())
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.WriteStrings(f, sources); err != nil {
+			return err
+		}
+		if _, err := m.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("engine written to %s\n", *output)
+	}
+	return nil
+}
+
+func mb(n int) float64 { return float64(n) / (1 << 20) }
+
+func loadRules(set, rulesFile string) ([]core.Rule, []string, error) {
+	switch {
+	case set != "" && rulesFile != "":
+		return nil, nil, fmt.Errorf("use either -set or -rules, not both")
+	case set != "":
+		prules, err := patterns.Load(set)
+		if err != nil {
+			return nil, nil, err
+		}
+		rules := make([]core.Rule, len(prules))
+		sources := make([]string, len(prules))
+		for i, r := range prules {
+			rules[i] = core.Rule{Pattern: r.Pattern, ID: r.ID}
+			sources[i] = r.Source
+		}
+		return rules, sources, nil
+	case rulesFile != "":
+		return readRulesFile(rulesFile)
+	default:
+		return nil, nil, fmt.Errorf("one of -set or -rules is required")
+	}
+}
+
+func readRulesFile(path string) ([]core.Rule, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	var rules []core.Rule
+	var sources []string
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := regexparse.ParsePCRE(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		rules = append(rules, core.Rule{Pattern: p, ID: int32(len(rules) + 1)})
+		sources = append(sources, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(rules) == 0 {
+		return nil, nil, fmt.Errorf("%s: no patterns", path)
+	}
+	return rules, sources, nil
+}

@@ -1,0 +1,210 @@
+// Command mfascan scans input with a compiled pattern set and reports
+// every confirmed match. Input is either a pcap capture (full
+// Ethernet/IPv4/TCP decode with flow reassembly, the paper's Figure 4
+// path) or a raw byte stream treated as a single flow.
+//
+// Usage:
+//
+//	mfascan -set S24 -pcap trace.pcap
+//	mfascan -rules rules.txt -raw payload.bin
+//	tracegen -set S24 -out - | mfascan -set S24 -pcap -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/flow"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/regexparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mfascan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
+	rulesFile := flag.String("rules", "", "file with one pattern per line")
+	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
+	pcapPath := flag.String("pcap", "", "pcap file to scan (- for stdin)")
+	rawPath := flag.String("raw", "", "raw payload file to scan as one flow (- for stdin)")
+	quiet := flag.Bool("q", false, "suppress per-match lines, print only the summary")
+	flag.Parse()
+
+	var m *core.MFA
+	var sources []string
+	if *engineFile != "" {
+		if *set != "" || *rulesFile != "" {
+			return fmt.Errorf("-engine replaces -set/-rules")
+		}
+		f, err := os.Open(*engineFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<20)
+		sources, err = core.ReadStrings(br)
+		if err != nil {
+			return err
+		}
+		m, err = core.ReadMFA(br)
+		if err != nil {
+			return err
+		}
+	} else {
+		rules, srcs, err := loadRules(*set, *rulesFile)
+		if err != nil {
+			return err
+		}
+		sources = srcs
+		m, err = core.Compile(rules, core.Options{})
+		if err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case *pcapPath != "" && *rawPath != "":
+		return fmt.Errorf("use either -pcap or -raw, not both")
+	case *pcapPath != "":
+		return scanPcap(m, sources, *pcapPath, *quiet)
+	case *rawPath != "":
+		return scanRaw(m, sources, *rawPath, *quiet)
+	default:
+		return fmt.Errorf("one of -pcap or -raw is required")
+	}
+}
+
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(bufio.NewReader(os.Stdin)), nil
+	}
+	return os.Open(path)
+}
+
+func scanPcap(m *core.MFA, sources []string, path string, quiet bool) error {
+	in, err := openInput(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	var matches int64
+	start := time.Now()
+	stats, err := flow.ScanPcap(bufio.NewReaderSize(in, 1<<20), flow.Config{},
+		func() flow.Runner { return m.NewRunner() },
+		func(mt flow.Match) {
+			matches++
+			if !quiet {
+				fmt.Printf("%s offset %d: rule %d (%s)\n",
+					mt.Flow, mt.Pos, mt.ID, sources[mt.ID-1])
+			}
+		})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("scanned %d TCP packets, %d payload bytes in %v (%.1f MB/s)\n",
+		stats.Packets, stats.PayloadBytes,
+		elapsed, float64(stats.PayloadBytes)/(1<<20)/elapsed.Seconds())
+	fmt.Printf("out-of-order segments: %d, dropped: %d, non-TCP frames: %d\n",
+		stats.OutOfOrder, stats.DroppedSegs, stats.SkippedFrames)
+	fmt.Printf("confirmed matches: %d\n", matches)
+	return nil
+}
+
+func scanRaw(m *core.MFA, sources []string, path string, quiet bool) error {
+	in, err := openInput(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	r := m.NewRunner()
+	var matches int64
+	onMatch := func(id int32, pos int64) {
+		matches++
+		if !quiet {
+			fmt.Printf("offset %d: rule %d (%s)\n", pos, id, sources[id-1])
+		}
+	}
+	buf := make([]byte, 1<<20)
+	start := time.Now()
+	var total int64
+	for {
+		n, err := in.Read(buf)
+		if n > 0 {
+			total += int64(n)
+			r.Feed(buf[:n], onMatch)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("scanned %d bytes in %v (%.1f MB/s), confirmed matches: %d\n",
+		total, elapsed, float64(total)/(1<<20)/elapsed.Seconds(), matches)
+	return nil
+}
+
+func loadRules(set, rulesFile string) ([]core.Rule, []string, error) {
+	switch {
+	case set != "" && rulesFile != "":
+		return nil, nil, fmt.Errorf("use either -set or -rules, not both")
+	case set != "":
+		prules, err := patterns.Load(set)
+		if err != nil {
+			return nil, nil, err
+		}
+		rules := make([]core.Rule, len(prules))
+		sources := make([]string, len(prules))
+		for i, r := range prules {
+			rules[i] = core.Rule{Pattern: r.Pattern, ID: r.ID}
+			sources[i] = r.Source
+		}
+		return rules, sources, nil
+	case rulesFile != "":
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		var rules []core.Rule
+		var sources []string
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			p, err := regexparse.ParsePCRE(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", rulesFile, err)
+			}
+			rules = append(rules, core.Rule{Pattern: p, ID: int32(len(rules) + 1)})
+			sources = append(sources, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		if len(rules) == 0 {
+			return nil, nil, fmt.Errorf("%s: no patterns", rulesFile)
+		}
+		return rules, sources, nil
+	default:
+		return nil, nil, fmt.Errorf("one of -set or -rules is required")
+	}
+}

@@ -1,0 +1,130 @@
+// IDS example: a miniature intrusion-detection pipeline over a pcap
+// capture — the deployment scenario the paper's introduction motivates.
+// It synthesizes a multi-flow TCP capture containing two attacks buried
+// in benign traffic (unless -pcap supplies a real capture), then decodes,
+// reassembles and scans it with a Snort-style rule set, reporting per-rule
+// alerts with their flow 5-tuples.
+//
+//	go run ./examples/ids
+//	go run ./examples/ids -pcap capture.pcap
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/regexparse"
+	"matchfilter/internal/trace"
+)
+
+// rules is a small Snort-flavoured rule set: anchored request-line
+// checks, line-bounded header checks, and unanchored content gaps.
+var rules = []struct {
+	name   string
+	source string
+}{
+	{"sql-injection", `union.*select`},
+	{"path-traversal", `/^get[^\n]*\.\.\/\.\.\//i`},
+	{"shellcode-nop-sled", `\x90\x90\x90\x90.*\xcd\x80`},
+	{"exfil-beacon", `beacon[^\n]*exfil`},
+	{"miner-ioc", `stratum\+tcp`},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ids: ")
+	pcapPath := flag.String("pcap", "", "scan this capture instead of the synthesized demo traffic")
+	flag.Parse()
+
+	engine, sources := compileRules()
+
+	var capture io.Reader
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		capture = f
+	} else {
+		capture = bytes.NewReader(synthesizeDemoCapture())
+	}
+
+	alerts := 0
+	start := time.Now()
+	stats, err := flow.ScanPcap(capture, flow.Config{},
+		func() flow.Runner { return engine.NewRunner() },
+		func(m flow.Match) {
+			alerts++
+			fmt.Printf("ALERT %-18s flow %s offset %d\n",
+				rules[m.ID-1].name, m.Flow, m.Pos)
+			_ = sources
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%d packets, %d payload bytes, %d out-of-order segments\n",
+		stats.Packets, stats.PayloadBytes, stats.OutOfOrder)
+	fmt.Printf("scan time %v (%.1f MB/s), %d alerts\n",
+		elapsed, float64(stats.PayloadBytes)/(1<<20)/elapsed.Seconds(), alerts)
+}
+
+func compileRules() (*core.MFA, []string) {
+	coreRules := make([]core.Rule, len(rules))
+	sources := make([]string, len(rules))
+	for i, r := range rules {
+		p, err := regexparse.ParsePCRE(r.source)
+		if err != nil {
+			log.Fatalf("rule %s: %v", r.name, err)
+		}
+		coreRules[i] = core.Rule{Pattern: p, ID: int32(i + 1)}
+		sources[i] = r.source
+	}
+	m, err := core.Compile(coreRules, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("compiled %d rules: %d fragments, %d states, %d filter bits, %.1f KB image\n\n",
+		st.NumRules, st.NumFragments, st.DFAStates, st.MemBits,
+		float64(st.MemoryImageBytes())/1024)
+	return m, sources
+}
+
+// synthesizeDemoCapture builds a capture with 6 benign flows and 2
+// attacks: a SQL injection split across packet boundaries and an
+// exfiltration beacon. The attack bytes are deliberately fragmented so
+// only stream reassembly can see them.
+func synthesizeDemoCapture() []byte {
+	var payloads [][]byte
+	for i := 0; i < 6; i++ {
+		// Benign traffic mentions "union" and "beacon" — the *first*
+		// segments of two rules — so it constantly sets filter bits that
+		// are never confirmed: the stateful-filter path is exercised
+		// without false alerts.
+		payloads = append(payloads,
+			trace.TextLike(16<<10, int64(100+i), []string{"union", "beacon"}, 0.001))
+	}
+	attack1 := "GET /search?q=1%27%20union" + strings.Repeat(" benign padding ", 20) + "select passwd from users"
+	attack2 := "POST /upload HTTP/1.1\nx: beacon id=7 mode=exfil\n"
+	payloads = append(payloads, []byte(attack1), []byte(attack2))
+
+	var buf bytes.Buffer
+	// Tiny MSS forces the "union"/"select" bytes apart, proving the
+	// per-flow (q, m) context carries matching state between packets.
+	if err := pcap.Synthesize(&buf, payloads, 48, 0.15, 42); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,77 @@
+// Quickstart: compile a small pattern set and scan both a buffer and a
+// stream, printing every confirmed match.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"matchfilter"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// Three patterns exercising the engine's key constructs: a dot-star
+	// gap, an anchored line-bounded gap (almost-dot-star), and a plain
+	// keyword. The dot-star and almost-dot-star patterns are the ones a
+	// plain DFA pays exponential state for; the engine decomposes them
+	// and reconstructs matches with a per-flow bit memory instead.
+	engine, err := matchfilter.Compile([]string{
+		`union.*select`,        // SQL injection shape
+		`^GET[^\n]*\.\./\.\./`, // anchored path traversal in a request line
+		`xmrig`,                // plain IOC keyword
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := engine.Stats()
+	fmt.Printf("compiled %d patterns into %d fragments, %d DFA states, %d memory bits\n",
+		stats.Patterns, stats.Fragments, stats.DFAStates, stats.MemoryBits)
+
+	// One-shot scan of a complete payload.
+	payload := []byte("GET /a/../../etc/shadow HTTP/1.1\nq=1 UNION of ideas... select none, xmrig")
+	fmt.Println("\none-shot scan:")
+	for _, m := range engine.Scan(payload) {
+		fmt.Printf("  pattern %q ends at offset %d\n", engine.Pattern(m.Pattern), m.End)
+	}
+	// Note: pattern 0 is case-sensitive, so "UNION ... select" did not
+	// match — only the traversal and the keyword did.
+
+	// Streaming scan: the same engine serves any number of flows, each
+	// with its own small context; matches fire across write boundaries.
+	fmt.Println("\nstreaming scan (3-byte writes):")
+	stream := engine.NewStream(func(m matchfilter.Match) {
+		fmt.Printf("  pattern %q ends at offset %d\n", engine.Pattern(m.Pattern), m.End)
+	})
+	data := []byte("a union b selects... union then select!")
+	for len(data) > 0 {
+		n := 3
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := stream.Write(data[:n]); err != nil {
+			log.Fatal(err)
+		}
+		data = data[n:]
+	}
+
+	// Streams satisfy io.Writer, so payloads can be copied straight in.
+	stream.Reset()
+	f, err := os.Open(os.Args[0]) // scan this very binary, why not
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := io.Copy(stream, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscanned %d bytes of %s via io.Copy\n", n, os.Args[0])
+}

@@ -1,0 +1,3 @@
+module matchfilter
+
+go 1.22

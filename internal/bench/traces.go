@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/trace"
+)
+
+// TraceProfile describes one synthesized packet trace. The defaults
+// stand in for the paper's real-life captures (DARPA LLx, CDX C1x,
+// Nitroba N — see DESIGN.md for the substitution rationale): each profile
+// fixes the flow mix, packet sizing, reordering rate and the density of
+// rule-related content in the payload.
+type TraceProfile struct {
+	Name      string
+	Flows     int
+	FlowBytes int
+	MSS       int
+	OOOProb   float64
+	// WordProb is the per-emission probability of embedding a literal
+	// from the pattern set under test, controlling match density.
+	WordProb float64
+	Seed     int64
+}
+
+// DefaultTraces returns the seven profiles used by the Figure 4
+// experiment, named after the paper's traces. The DP (LLx) profiles are
+// the largest with full-size packets; the CDX (C1x) profiles are smaller
+// with more reordering; N is small with short packets. C12 carries a
+// much higher match density — the paper singles it out as the trace the
+// MFA "performs quite poorly on" because of filter-action pressure.
+func DefaultTraces(scale float64) []TraceProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	sz := func(n int) int { return int(float64(n) * scale) }
+	return []TraceProfile{
+		{Name: "LL1", Flows: 24, FlowBytes: sz(96 << 10), MSS: 1460, OOOProb: 0.01, WordProb: 0.004, Seed: 101},
+		{Name: "LL2", Flows: 24, FlowBytes: sz(96 << 10), MSS: 1460, OOOProb: 0.01, WordProb: 0.010, Seed: 102},
+		{Name: "LL3", Flows: 32, FlowBytes: sz(64 << 10), MSS: 1024, OOOProb: 0.02, WordProb: 0.006, Seed: 103},
+		{Name: "C11", Flows: 16, FlowBytes: sz(48 << 10), MSS: 536, OOOProb: 0.05, WordProb: 0.008, Seed: 111},
+		{Name: "C12", Flows: 16, FlowBytes: sz(48 << 10), MSS: 536, OOOProb: 0.05, WordProb: 0.120, Seed: 112},
+		{Name: "C13", Flows: 16, FlowBytes: sz(48 << 10), MSS: 536, OOOProb: 0.05, WordProb: 0.015, Seed: 113},
+		{Name: "N", Flows: 8, FlowBytes: sz(32 << 10), MSS: 256, OOOProb: 0.03, WordProb: 0.010, Seed: 121},
+	}
+}
+
+// SynthesizeTrace builds the pcap bytes for a profile against a pattern
+// set: flow payloads are protocol-like text salted with the set's own
+// literals so partial and full matches occur at the profile's density.
+func SynthesizeTrace(p TraceProfile, set string) ([]byte, error) {
+	words, err := patterns.AllWords(set)
+	if err != nil {
+		return nil, err
+	}
+	payloads := make([][]byte, p.Flows)
+	for i := range payloads {
+		payloads[i] = trace.TextLike(p.FlowBytes, p.Seed+int64(i)*7919, words, p.WordProb)
+	}
+	var buf bytes.Buffer
+	if err := pcap.Synthesize(&buf, payloads, p.MSS, p.OOOProb, p.Seed); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TraceResult is one (set, trace, engine) throughput measurement over the
+// full pcap path: decode, reassemble, scan.
+type TraceResult struct {
+	Set    string
+	Trace  string
+	Engine EngineKind
+	Throughput
+	Matches int64
+}
+
+// flowRunner adapts each engine to the flow.Runner interface.
+func (e *Engines) flowRunner(k EngineKind) func() flow.Runner {
+	switch k {
+	case EngineNFA:
+		return func() flow.Runner { return nfaFlowRunner{e.NFA.NewRunner()} }
+	case EngineDFA:
+		if e.DFA == nil {
+			return nil
+		}
+		return func() flow.Runner { return e.DFA.NewRunner() }
+	case EngineHFA:
+		return func() flow.Runner { return e.HFA.NewRunner() }
+	case EngineXFA:
+		return func() flow.Runner { return e.XFA.NewRunner() }
+	case EngineMFA:
+		return func() flow.Runner { return e.MFA.NewRunner() }
+	default:
+		return nil
+	}
+}
+
+// nfaFlowRunner adapts the NFA runner's int match ids to the flow
+// interface's int32.
+type nfaFlowRunner struct{ r *nfa.Runner }
+
+func (a nfaFlowRunner) Feed(data []byte, fn func(id int32, pos int64)) {
+	a.r.Feed(data, func(id int, pos int64) { fn(int32(id), pos) })
+}
+
+func (a nfaFlowRunner) Reset() { a.r.Reset() }
+
+// RunTrace scans one synthesized pcap with one engine and measures
+// cycles per payload byte (the Figure 4 metric: cycles divided by the
+// payload size of the packets).
+func (e *Engines) RunTrace(profile TraceProfile, pcapBytes []byte, k EngineKind) (TraceResult, bool) {
+	newRunner := e.flowRunner(k)
+	if newRunner == nil {
+		return TraceResult{}, false
+	}
+	var matches int64
+	onMatch := func(flow.Match) { matches++ }
+
+	// Warmup pass (untimed), then the measured pass.
+	if _, err := flow.ScanPcap(bytes.NewReader(pcapBytes), flow.Config{}, newRunner, nil); err != nil {
+		return TraceResult{}, false
+	}
+	matches = 0
+	start := time.Now()
+	stats, err := flow.ScanPcap(bytes.NewReader(pcapBytes), flow.Config{}, newRunner, onMatch)
+	if err != nil {
+		return TraceResult{}, false
+	}
+	elapsed := time.Since(start)
+	nsPerByte := float64(elapsed.Nanoseconds()) / float64(stats.PayloadBytes)
+	return TraceResult{
+		Set:    e.Set,
+		Trace:  profile.Name,
+		Engine: k,
+		Throughput: Throughput{
+			Bytes:         stats.PayloadBytes,
+			Elapsed:       elapsed,
+			MatchEvents:   matches,
+			NsPerByte:     nsPerByte,
+			CyclesPerByte: nsPerByte * NominalGHz,
+		},
+		Matches: matches,
+	}, true
+}
+
+// Figure4 runs every engine over every trace for the given engines and
+// renders the CpB matrix. It returns the raw results for further
+// analysis.
+func Figure4(w io.Writer, engines []*Engines, profiles []TraceProfile) ([]TraceResult, error) {
+	fmt.Fprintln(w, "Figure 4: Throughput on packet traces (cycles per payload byte,")
+	fmt.Fprintf(w, "          CpB = ns/B x %.1f GHz nominal; see EXPERIMENTS.md)\n", NominalGHz)
+
+	var all []TraceResult
+	for _, e := range engines {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "[%s]\ttrace\tNFA\tDFA\tHFA\tXFA\tMFA\tmatches(MFA)\n", e.Set)
+		for _, p := range profiles {
+			pcapBytes, err := SynthesizeTrace(p, e.Set)
+			if err != nil {
+				return nil, err
+			}
+			row := fmt.Sprintf("\t%s", p.Name)
+			var mfaMatches int64
+			for _, k := range AllEngines {
+				res, ok := e.RunTrace(p, pcapBytes, k)
+				if !ok {
+					row += "\t—"
+					continue
+				}
+				all = append(all, res)
+				row += fmt.Sprintf("\t%.0f", res.CyclesPerByte)
+				if k == EngineMFA {
+					mfaMatches = res.Matches
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%d\n", row, mfaMatches)
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-engine means, the numbers quoted in §V-D prose.
+	fmt.Fprintln(w, "per-engine mean CpB (paper: DFA 19, MFA 49, XFA ~125, NFA ~130, HFA ~360):")
+	for _, k := range AllEngines {
+		var sum float64
+		var n int
+		for _, r := range all {
+			if r.Engine == k {
+				sum += r.CyclesPerByte
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "  %s: %.0f CpB over %d runs\n", k, sum/float64(n), n)
+		}
+	}
+	return all, nil
+}

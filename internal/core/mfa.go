@@ -1,0 +1,250 @@
+// Package core implements the Match Filtering Automaton (MFA), the
+// paper's primary contribution: a multi-match DFA over decomposed regex
+// fragments whose match stream is post-processed by a stateful filter
+// engine to yield exactly the matches of the original rules.
+//
+// Formally (§III-A) an MFA is the 9-tuple (Q, Σ, δ, q0, Di, Dq, w, D, f):
+// Q, Σ, δ, q0 and the decision structure Di, Dq come from the DFA built
+// over the splitter's fragments; w, D and f are the filter program. The
+// per-flow matching context is the pair (q, m) — one DFA state and one
+// w-bit memory — so multiplexing many flows costs a few bytes per flow
+// (§III-B).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/filter"
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/regexparse"
+	"matchfilter/internal/splitter"
+)
+
+// Rule is one input regex and the id reported when it matches.
+type Rule struct {
+	Pattern *regexparse.Pattern
+	ID      int32
+}
+
+// Options configures MFA compilation. The zero value is the paper's
+// configuration: both decompositions enabled, safety checks on, subset
+// construction without minimization.
+type Options struct {
+	Splitter splitter.Options
+	DFA      dfa.Options
+}
+
+// BuildStats records what compilation produced, feeding the Table V and
+// Figure 2/3 experiments.
+type BuildStats struct {
+	Split        splitter.Stats
+	NumRules     int
+	NumFragments int
+	NFAStates    int
+	DFAStates    int // the "MFA Qs" column of Table V
+	MemBits      int // w
+	PosRegs      int // counting-extension position registers
+	InternalIDs  int // |Di|
+	// BuildTime is the wall-clock construction time (Figure 3).
+	BuildTime time.Duration
+	// SplitTime and DFATime break BuildTime down; almost all of it is
+	// standard DFA construction, as §I-D claims.
+	SplitTime time.Duration
+	DFATime   time.Duration
+	// DFABytes and FilterBytes are the memory image split of Figure 2;
+	// the paper reports filters averaging under 0.2% of the image.
+	DFABytes    int
+	FilterBytes int
+}
+
+// MemoryImageBytes is the total static image (Figure 2).
+func (s BuildStats) MemoryImageBytes() int { return s.DFABytes + s.FilterBytes }
+
+// MFA is a compiled match filtering automaton. It is immutable and safe
+// for concurrent use by any number of flows; per-flow state lives in
+// Runner.
+type MFA struct {
+	engine *dfa.Engine
+	prog   *filter.Program
+	stats  BuildStats
+
+	// Hot-loop views of the DFA, cached so Runner.Feed runs the
+	// table-walk inline instead of through dfa.Runner callbacks.
+	trans       []uint32
+	acceptStart uint32
+	accepts     [][]int32
+}
+
+// MatchFunc receives a confirmed match: the original rule id and the
+// 0-based offset of the byte at which the match completed.
+type MatchFunc = func(ruleID int32, pos int64)
+
+// Compile builds the MFA for a rule set: regex splitting (Algorithm 1),
+// standard subset construction over the fragments, and filter-program
+// assembly.
+func Compile(rules []Rule, opts Options) (*MFA, error) {
+	startAll := time.Now()
+
+	srules := make([]splitter.Rule, len(rules))
+	for i, r := range rules {
+		if r.Pattern == nil {
+			return nil, fmt.Errorf("core: rule %d has nil pattern", r.ID)
+		}
+		srules[i] = splitter.Rule{Pattern: r.Pattern, RuleID: r.ID}
+	}
+	res, err := splitter.Split(srules, opts.Splitter)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	splitTime := time.Since(startAll)
+
+	nfaRules := make([]nfa.Rule, len(res.Fragments))
+	for i, f := range res.Fragments {
+		nfaRules[i] = nfa.Rule{Pattern: f.Pattern, MatchID: int(f.InternalID)}
+	}
+	n, err := nfa.Build(nfaRules)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	startDFA := time.Now()
+	d, err := dfa.FromNFA(n, opts.DFA)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	dfaTime := time.Since(startDFA)
+
+	prog := res.Program()
+	m := &MFA{
+		engine:      dfa.NewEngine(d),
+		prog:        prog,
+		trans:       d.TransitionTable(),
+		acceptStart: d.AcceptStart(),
+		accepts:     d.AcceptSets(),
+		stats: BuildStats{
+			Split:        res.Stats,
+			NumRules:     len(rules),
+			NumFragments: len(res.Fragments),
+			NFAStates:    n.NumStates(),
+			DFAStates:    d.NumStates(),
+			MemBits:      res.MemBits,
+			PosRegs:      res.NumRegs,
+			InternalIDs:  prog.NumIDs() - 1,
+			BuildTime:    time.Since(startAll),
+			SplitTime:    splitTime,
+			DFATime:      dfaTime,
+			DFABytes:     d.MemoryImageBytes(),
+			FilterBytes:  prog.MemoryImageBytes(),
+		},
+	}
+	return m, nil
+}
+
+// Stats returns the compilation statistics.
+func (m *MFA) Stats() BuildStats { return m.stats }
+
+// Program returns the filter program (w, D, f of the 9-tuple).
+func (m *MFA) Program() *filter.Program { return m.prog }
+
+// DFA returns the character DFA (Q, Σ, δ, q0, Di, Dq of the 9-tuple).
+func (m *MFA) DFA() *dfa.DFA { return m.engine.DFA() }
+
+// Runner is one flow's matching context: the (q, m) pair of §III-B, plus
+// the position registers of the counting extension when the pattern set
+// uses it.
+type Runner struct {
+	mfa  *MFA
+	dfa  *dfa.Runner
+	mem  filter.Memory
+	regs filter.Registers
+}
+
+// NewRunner returns a runner positioned at the start of a fresh flow,
+// with DFA state q0, all-zero filter memory and unset registers.
+func (m *MFA) NewRunner() *Runner {
+	return &Runner{
+		mfa:  m,
+		dfa:  m.engine.NewRunner(),
+		mem:  m.prog.NewMemory(),
+		regs: m.prog.NewRegisters(),
+	}
+}
+
+// Reset rewinds the runner for a new flow.
+func (r *Runner) Reset() {
+	r.dfa.Reset()
+	r.mem.Reset()
+	r.regs.Reset()
+}
+
+// Pos returns the number of bytes consumed so far.
+func (r *Runner) Pos() int64 { return r.dfa.Pos() }
+
+// Context returns the flow's saved state: the DFA state and copies of the
+// filter memory and position registers (regs is nil when the pattern set
+// uses no counting gaps). Together with Pos these fully capture parsing
+// state, so multiplexed flows need only store this tuple (§III-B).
+func (r *Runner) Context() (state uint32, mem filter.Memory, regs filter.Registers) {
+	return r.dfa.State(), r.mem.Clone(), r.regs.Clone()
+}
+
+// SetContext restores a previously saved flow context.
+func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registers, pos int64) {
+	r.dfa.SetState(state, pos)
+	copy(r.mem, mem)
+	copy(r.regs, regs)
+}
+
+// Feed advances the flow over data. Every possible match from the DFA is
+// passed through the filter; onMatch is invoked only for confirmed
+// matches of original rules. The DFA walk is inlined here — one table
+// load and one compare per byte — so the composite engine's hot loop
+// matches a bare DFA until a possible match needs filtering.
+func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
+	m := r.mfa
+	prog := m.prog
+	mem := r.mem
+	regs := r.regs
+	trans := m.trans
+	acceptStart := m.acceptStart
+	state := r.dfa.State()
+	pos := r.dfa.Pos()
+	for i := 0; i < len(data); i++ {
+		state = trans[int(state)<<8|int(data[i])]
+		if state >= acceptStart {
+			for _, id := range m.accepts[state-acceptStart] {
+				if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+					onMatch(ruleID, pos)
+				}
+			}
+		}
+		pos++
+	}
+	r.dfa.SetState(state, pos)
+}
+
+// FeedCount advances the flow and returns only the number of confirmed
+// matches; the benchmark loop, free of callback allocation.
+func (r *Runner) FeedCount(data []byte) int64 {
+	var count int64
+	r.Feed(data, func(int32, int64) { count++ })
+	return count
+}
+
+// MatchEvent records one confirmed match.
+type MatchEvent struct {
+	RuleID int32
+	Pos    int64
+}
+
+// Run scans data as one fresh flow and returns all confirmed matches in
+// order; a convenience for tests and one-shot scans.
+func (m *MFA) Run(data []byte) []MatchEvent {
+	var out []MatchEvent
+	r := m.NewRunner()
+	r.Feed(data, func(id int32, pos int64) {
+		out = append(out, MatchEvent{RuleID: id, Pos: pos})
+	})
+	return out
+}

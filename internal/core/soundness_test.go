@@ -1,0 +1,123 @@
+package core
+
+// Regression tests for decomposition-soundness holes that the paper's
+// literally-stated conditions miss. Each case was (or would be) a false
+// match under a naive implementation; the splitter must refuse the
+// dangerous split so the MFA agrees with ground truth.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRepeatedSegmentSoundness: qq.*xyz.*xyz — the xyz/xyz split is
+// refused (identical suffix/prefix), and the qq split must cascade-refuse
+// too: a trailing fragment "xyz.*xyz" could otherwise satisfy its guard
+// using an xyz occurring before qq.
+func TestRepeatedSegmentSoundness(t *testing.T) {
+	assertEquivalent(t, []string{"qq.*xyz.*xyz"}, [][]byte{
+		[]byte("xyz qq xyz"),     // the false-match input: xyz before qq
+		[]byte("qq xyz xyz"),     // the true match
+		[]byte("qq xyz"),         // only one xyz
+		[]byte("xyz xyz qq"),     // everything before qq
+		[]byte("qq xyz xyz xyz"), // extra tail matches
+		[]byte("xyzqqxyzxyz"),    // adjacent
+	})
+}
+
+// TestInfixSoundness: .*b.*abc — "b" occurs inside "abc", so input "abc"
+// alone must not match even though b's match (offset 1) precedes abc's
+// match (offset 2). The paper's suffix/prefix condition does not catch
+// this; the infix condition must.
+func TestInfixSoundness(t *testing.T) {
+	assertEquivalent(t, []string{"b.*abc"}, [][]byte{
+		[]byte("abc"),     // the false-match input
+		[]byte("b abc"),   // the true match
+		[]byte("abc abc"), // first abc supplies the b for the second
+		[]byte("ab abc"),
+	})
+}
+
+// TestWildcardGapSoundness: ab.*x..z — "ab" can sit inside the wildcard
+// positions of "x..z" (input "xabz"), again invisible to suffix/prefix
+// analysis.
+func TestWildcardGapSoundness(t *testing.T) {
+	assertEquivalent(t, []string{"ab.*x..z"}, [][]byte{
+		[]byte("xabz"),    // the false-match input
+		[]byte("ab xqqz"), // the true match
+		[]byte("xqqz ab"), // wrong order
+		[]byte("ab xabz"), // both: matches
+	})
+}
+
+// TestMidRefusalCascade: A.*B.*C.*D where only the B/C split is unsafe.
+// All splits at or left of the failure must be refused; the C/D split can
+// stand. (B="on", C="onx": "on" is a prefix — and infix — of "onx".)
+func TestMidRefusalCascade(t *testing.T) {
+	assertEquivalent(t, []string{"aq.*on.*onx.*dz"}, [][]byte{
+		[]byte("on aq onx dz"), // guard content before aq: no match
+		[]byte("aq on onx dz"), // true match
+		[]byte("aq onx dz"),    // B missing: no match ("onx" supplies on!)
+		[]byte("onx aq on dz"), // reordered: no match
+		[]byte("aq on onx onx dz"),
+		[]byte("dz aq on onx"),
+	})
+}
+
+// TestAlmostDotStarGapSoundness mirrors the repeated-segment case for
+// [^X]* separators.
+func TestAlmostDotStarGapSoundness(t *testing.T) {
+	assertEquivalent(t, []string{"qq[^\\n]*xyz[^\\n]*xyz"}, [][]byte{
+		[]byte("xyz qq xyz"),
+		[]byte("qq xyz xyz"),
+		[]byte("qq xyz\nxyz"),
+		[]byte("xyz\nqq xyz xyz"),
+	})
+}
+
+// TestSegmentPermutationRandom generates rules whose segments are then
+// emitted into inputs in random orders and densities — the adversarial
+// shape for guard-bit schemes, where out-of-order segment occurrences
+// must never produce a confirmed match that ground truth rejects.
+func TestSegmentPermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	// Word pool with deliberate prefix/suffix/infix relations.
+	words := []string{"ab", "abc", "bc", "xyz", "yz", "qq", "q", "onx", "on"}
+	gaps := []string{".*", "[^\\n]*"}
+
+	for trial := 0; trial < 80; trial++ {
+		numSegs := 2 + rng.Intn(3)
+		segs := make([]string, numSegs)
+		var sb strings.Builder
+		for i := range segs {
+			segs[i] = words[rng.Intn(len(words))]
+			if i > 0 {
+				sb.WriteString(gaps[rng.Intn(len(gaps))])
+			}
+			sb.WriteString(segs[i])
+		}
+		source := sb.String()
+
+		inputs := make([][]byte, 0, 8)
+		for ii := 0; ii < 8; ii++ {
+			// Emit the rule's own segments in a random order with random
+			// separators, plus occasional noise.
+			var in strings.Builder
+			for k := 0; k < numSegs+rng.Intn(4); k++ {
+				switch rng.Intn(6) {
+				case 0:
+					in.WriteByte('\n')
+				case 1:
+					in.WriteString(" ")
+				case 2:
+					in.WriteString(words[rng.Intn(len(words))])
+				default:
+					in.WriteString(segs[rng.Intn(numSegs)])
+				}
+			}
+			inputs = append(inputs, []byte(in.String()))
+		}
+		assertEquivalent(t, []string{source}, inputs)
+	}
+}

@@ -1,0 +1,291 @@
+// Package dfa implements subset construction from an NFA into a flat
+// transition-table deterministic automaton with multi-match decision sets
+// (the Dq: Q → 2^Di component of the paper's 9-tuple), plus a fast
+// matching engine and an optional minimization pass.
+//
+// The transition table is a single []uint32 indexed by state*256+byte, so
+// advancing the automaton is one load per input byte. States are
+// renumbered so that all accepting states form a contiguous tail, making
+// the per-byte "did we match" test a single integer compare.
+package dfa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/regexparse"
+)
+
+// DefaultMaxStates is the construction budget used when Options.MaxStates
+// is zero. A state costs 1 KiB of transition table, so the default bounds
+// the table at 128 MiB — comfortably above every constructible pattern
+// set shipped in internal/patterns, and exceeded (by design) by the
+// B217p-style sets.
+const DefaultMaxStates = 1 << 17
+
+// ErrTooManyStates is returned (wrapped) when subset construction exceeds
+// the state budget; the paper's Table V reports exactly this outcome for
+// B217p ("could not be constructed as a DFA").
+var ErrTooManyStates = errors.New("dfa: state budget exceeded")
+
+// Options configures construction.
+type Options struct {
+	// MaxStates caps subset construction; 0 means DefaultMaxStates.
+	MaxStates int
+	// Minimize runs a Moore partition-refinement pass after construction.
+	// Distinct match-id sets are kept distinguishable, so minimization
+	// never merges states that report different matches.
+	Minimize bool
+}
+
+// DFA is a deterministic multi-match automaton.
+type DFA struct {
+	numStates   int
+	start       uint32
+	trans       []uint32  // numStates*256, row-major
+	acceptStart uint32    // states >= acceptStart are accepting
+	accepts     [][]int32 // match ids for states >= acceptStart, indexed by state-acceptStart
+}
+
+// FromNFA runs subset construction on n.
+func FromNFA(n *nfa.NFA, opts Options) (*DFA, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	c := newConstructor(n, maxStates)
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	d := c.finish()
+	if opts.Minimize {
+		d = d.minimize()
+	}
+	return d, nil
+}
+
+// constructor holds the working state of subset construction.
+type constructor struct {
+	n         *nfa.NFA
+	maxStates int
+
+	seen   []bool            // scratch for epsilon closures
+	subset map[string]uint32 // closure key -> DFA state
+	queue  []closureEntry    // worklist of unexplored states
+
+	trans   [][]uint32 // per explored state: 256 targets
+	accepts [][]int32  // per state: sorted match ids (nil if none)
+}
+
+type closureEntry struct {
+	id      uint32
+	closure []nfa.StateID
+}
+
+func newConstructor(n *nfa.NFA, maxStates int) *constructor {
+	return &constructor{
+		n:         n,
+		maxStates: maxStates,
+		seen:      make([]bool, n.NumStates()),
+		subset:    make(map[string]uint32, 1024),
+	}
+}
+
+// intern returns the DFA state for a closure, creating it if new.
+func (c *constructor) intern(closure []nfa.StateID) (uint32, error) {
+	key := closureKey(closure)
+	if id, ok := c.subset[key]; ok {
+		return id, nil
+	}
+	if len(c.accepts) >= c.maxStates {
+		return 0, fmt.Errorf("%w: more than %d states", ErrTooManyStates, c.maxStates)
+	}
+	id := uint32(len(c.accepts))
+	c.subset[key] = id
+	c.accepts = append(c.accepts, matchSet(c.n, closure))
+	c.queue = append(c.queue, closureEntry{id: id, closure: closure})
+	return id, nil
+}
+
+func (c *constructor) run() error {
+	startClosure := c.n.EpsClosure([]nfa.StateID{c.n.Start}, c.seen)
+	if _, err := c.intern(startClosure); err != nil {
+		return err
+	}
+
+	var buckets [regexparse.AlphabetSize][]nfa.StateID
+	for len(c.queue) > 0 {
+		entry := c.queue[0]
+		c.queue = c.queue[1:]
+
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+		for _, s := range entry.closure {
+			for _, t := range c.n.States[s].Trans {
+				to := t.To
+				forEachClassByte(t.Class, func(b byte) {
+					buckets[b] = append(buckets[b], to)
+				})
+			}
+		}
+
+		row := make([]uint32, regexparse.AlphabetSize)
+		// Bytes with identical raw target sets share the same successor;
+		// cache on the raw-set key to skip redundant closure work.
+		local := make(map[string]uint32, 8)
+		for b := 0; b < regexparse.AlphabetSize; b++ {
+			targets := buckets[b]
+			slices.Sort(targets)
+			targets = slices.Compact(targets)
+			rawKey := closureKey(targets)
+			if id, ok := local[rawKey]; ok {
+				row[b] = id
+				continue
+			}
+			closure := c.n.EpsClosure(targets, c.seen)
+			id, err := c.intern(closure)
+			if err != nil {
+				return err
+			}
+			local[rawKey] = id
+			row[b] = id
+		}
+		c.trans = append(c.trans, row)
+	}
+	return nil
+}
+
+// finish renumbers states so accepting ones form a contiguous tail and
+// packs the transition rows into one flat array.
+func (c *constructor) finish() *DFA {
+	numStates := len(c.trans)
+	perm := make([]uint32, numStates) // old -> new
+	numAccept := 0
+	for _, m := range c.accepts {
+		if m != nil {
+			numAccept++
+		}
+	}
+	acceptStart := uint32(numStates - numAccept)
+	nextPlain, nextAccept := uint32(0), acceptStart
+	for s, m := range c.accepts {
+		if m == nil {
+			perm[s] = nextPlain
+			nextPlain++
+		} else {
+			perm[s] = nextAccept
+			nextAccept++
+		}
+	}
+
+	d := &DFA{
+		numStates:   numStates,
+		start:       perm[0], // state 0 was interned first from the start closure
+		trans:       make([]uint32, numStates*regexparse.AlphabetSize),
+		acceptStart: acceptStart,
+		accepts:     make([][]int32, numAccept),
+	}
+	for old, row := range c.trans {
+		base := int(perm[old]) * regexparse.AlphabetSize
+		for b, to := range row {
+			d.trans[base+b] = perm[to]
+		}
+		if m := c.accepts[old]; m != nil {
+			d.accepts[perm[old]-acceptStart] = m
+		}
+	}
+	return d
+}
+
+// matchSet returns the sorted, deduplicated match ids of a closure, or nil
+// when the closure is not accepting.
+func matchSet(n *nfa.NFA, closure []nfa.StateID) []int32 {
+	var ids []int32
+	for _, s := range closure {
+		for _, id := range n.States[s].Matches {
+			ids = append(ids, int32(id))
+		}
+	}
+	if ids == nil {
+		return nil
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}
+
+// closureKey encodes a sorted state list as a map key.
+func closureKey(states []nfa.StateID) string {
+	buf := make([]byte, 4*len(states))
+	for i, s := range states {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+	}
+	return string(buf)
+}
+
+// forEachClassByte invokes fn for every byte in the class, scanning the
+// bitmap words directly to avoid a temporary slice.
+func forEachClassByte(cl regexparse.Class, fn func(b byte)) {
+	for w := 0; w < 4; w++ {
+		word := cl[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			fn(byte(w*64 + bit))
+			word &^= 1 << bit
+		}
+	}
+}
+
+// NumStates returns the number of DFA states, the "DFA Qs" column of
+// Table V.
+func (d *DFA) NumStates() int { return d.numStates }
+
+// Start returns the initial state.
+func (d *DFA) Start() uint32 { return d.start }
+
+// Next returns δ(state, c).
+func (d *DFA) Next(state uint32, c byte) uint32 {
+	return d.trans[int(state)*regexparse.AlphabetSize+int(c)]
+}
+
+// Accepting reports whether a state has a non-empty decision set.
+func (d *DFA) Accepting(state uint32) bool { return state >= d.acceptStart }
+
+// Matches returns the decision set Dq(state), nil for non-accepting
+// states. The returned slice must not be modified.
+func (d *DFA) Matches(state uint32) []int32 {
+	if state < d.acceptStart {
+		return nil
+	}
+	return d.accepts[state-d.acceptStart]
+}
+
+// TransitionTable returns the flat row-major transition table
+// (NumStates×256). It is shared, not copied: callers must treat it as
+// read-only. The HFA and XFA baselines repack it into their own layouts.
+func (d *DFA) TransitionTable() []uint32 { return d.trans }
+
+// AcceptStart returns the first accepting state id; states in
+// [AcceptStart, NumStates) are exactly the accepting states.
+func (d *DFA) AcceptStart() uint32 { return d.acceptStart }
+
+// AcceptSets returns the decision sets of the accepting states, indexed
+// by state-AcceptStart. Shared, read-only: composite engines use it to
+// inline the scan loop without a per-state method call.
+func (d *DFA) AcceptSets() [][]int32 { return d.accepts }
+
+// MemoryImageBytes returns the contiguous memory needed for matching: the
+// flat transition table plus the accept-set arrays and their index.
+func (d *DFA) MemoryImageBytes() int {
+	total := len(d.trans) * 4
+	total += len(d.accepts) * 8 // offset/length index per accepting state
+	for _, m := range d.accepts {
+		total += len(m) * 4
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package dfa
+
+// MatchFunc receives a match event: the rule's match id and the 0-based
+// offset of the byte at which the match completed.
+type MatchFunc = func(id int32, pos int64)
+
+// Engine wraps a DFA for scanning. It is immutable and safe for
+// concurrent use; per-flow state lives in Runner.
+type Engine struct {
+	d *DFA
+}
+
+// NewEngine returns a matcher over d.
+func NewEngine(d *DFA) *Engine { return &Engine{d: d} }
+
+// DFA returns the underlying automaton.
+func (e *Engine) DFA() *DFA { return e.d }
+
+// Runner is the per-flow context of a DFA scan: a single automaton state
+// and the running byte offset — the (q) half of the paper's (q, m) pair.
+type Runner struct {
+	e     *Engine
+	state uint32
+	pos   int64
+}
+
+// NewRunner returns a runner positioned at the start of a flow.
+func (e *Engine) NewRunner() *Runner {
+	return &Runner{e: e, state: e.d.start}
+}
+
+// Reset rewinds the runner to the start of a new flow.
+func (r *Runner) Reset() {
+	r.state = r.e.d.start
+	r.pos = 0
+}
+
+// Pos returns the number of bytes consumed so far.
+func (r *Runner) Pos() int64 { return r.pos }
+
+// State returns the current DFA state, exposed so composite engines (the
+// MFA) can persist and restore per-flow contexts.
+func (r *Runner) State() uint32 { return r.state }
+
+// SetState restores a previously saved state.
+func (r *Runner) SetState(s uint32, pos int64) {
+	r.state = s
+	r.pos = pos
+}
+
+// Feed advances the runner over data, invoking onMatch for every element
+// of the decision set of each visited accepting state. This is the hot
+// loop of the whole system: one table load and one compare per byte.
+func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
+	d := r.e.d
+	state := r.state
+	pos := r.pos
+	trans := d.trans
+	acceptStart := d.acceptStart
+	for i := 0; i < len(data); i++ {
+		state = trans[int(state)<<8|int(data[i])]
+		if state >= acceptStart {
+			for _, id := range d.accepts[state-acceptStart] {
+				onMatch(id, pos)
+			}
+		}
+		pos++
+	}
+	r.state = state
+	r.pos = pos
+}
+
+// FeedCount advances the runner over data without reporting individual
+// events, returning only the number of match events. It is the
+// measurement loop used by throughput benchmarks, where the cost of a
+// callback per event would distort engine comparisons.
+func (r *Runner) FeedCount(data []byte) int64 {
+	d := r.e.d
+	state := r.state
+	trans := d.trans
+	acceptStart := d.acceptStart
+	var count int64
+	for i := 0; i < len(data); i++ {
+		state = trans[int(state)<<8|int(data[i])]
+		if state >= acceptStart {
+			count += int64(len(d.accepts[state-acceptStart]))
+		}
+	}
+	r.state = state
+	r.pos += int64(len(data))
+	return count
+}
+
+// MatchEvent records one reported match.
+type MatchEvent struct {
+	ID  int32
+	Pos int64
+}
+
+// Run scans data from the start of a fresh flow and returns all matches
+// in order; a convenience for tests and one-shot scans.
+func (e *Engine) Run(data []byte) []MatchEvent {
+	var out []MatchEvent
+	r := e.NewRunner()
+	r.Feed(data, func(id int32, pos int64) {
+		out = append(out, MatchEvent{ID: id, Pos: pos})
+	})
+	return out
+}

@@ -1,0 +1,144 @@
+package dfa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Serialization of compiled automata. The format is a simple
+// little-endian framing, versioned so stored engines fail loudly rather
+// than misbehave after an incompatible change:
+//
+//	magic "MFDFA1\n", u32 numStates, u32 start, u32 acceptStart
+//	numStates*256 × u32 transition table
+//	u32 numAccept, then per accepting state: u32 count, count × i32 ids
+const dfaMagic = "MFDFA1\n"
+
+// ErrBadFormat is returned (wrapped) when decoding unrecognized or
+// corrupt data.
+var ErrBadFormat = errors.New("dfa: bad serialized format")
+
+// WriteTo serializes the automaton. It implements io.WriterTo.
+func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	write := func(v any) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+	if _, err := cw.Write([]byte(dfaMagic)); err != nil {
+		return cw.n, err
+	}
+	write(uint32(d.numStates))
+	write(d.start)
+	write(d.acceptStart)
+	write(d.trans)
+	write(uint32(len(d.accepts)))
+	for _, ids := range d.accepts {
+		write(uint32(len(ids)))
+		write(ids)
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// ReadDFA deserializes an automaton written by WriteTo, validating
+// structural invariants so a corrupt file cannot produce out-of-range
+// states at scan time.
+//
+// ReadDFA never reads past the end of the serialized automaton, so it
+// composes with further sections on the same stream; callers should pass
+// an already-buffered reader (it performs many small reads).
+func ReadDFA(r io.Reader) (*DFA, error) {
+	br := r
+	magic := make([]byte, len(dfaMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != dfaMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var numStates, start, acceptStart uint32
+	for _, v := range []*uint32{&numStates, &start, &acceptStart} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+		}
+	}
+	// Engines beyond twice the default construction budget are rejected:
+	// the bound keeps a corrupt header from demanding a multi-gigabyte
+	// allocation before any data is validated.
+	const maxStates = 2 * DefaultMaxStates
+	if numStates == 0 || numStates > maxStates ||
+		start >= numStates || acceptStart > numStates {
+		return nil, fmt.Errorf("%w: implausible header (states=%d start=%d acceptStart=%d)",
+			ErrBadFormat, numStates, start, acceptStart)
+	}
+	d := &DFA{
+		numStates:   int(numStates),
+		start:       start,
+		acceptStart: acceptStart,
+	}
+	// Read the table in bounded chunks, growing with the data actually
+	// present, so a corrupt header on a truncated stream fails after at
+	// most one chunk instead of allocating the full claimed table.
+	total := int(numStates) * 256
+	d.trans = make([]uint32, 0, min(total, 1<<18))
+	chunk := make([]uint32, 1<<18)
+	for len(d.trans) < total {
+		k := min(total-len(d.trans), len(chunk))
+		if err := binary.Read(br, binary.LittleEndian, chunk[:k]); err != nil {
+			return nil, fmt.Errorf("%w: transition table: %v", ErrBadFormat, err)
+		}
+		d.trans = append(d.trans, chunk[:k]...)
+	}
+	for _, to := range d.trans {
+		if to >= numStates {
+			return nil, fmt.Errorf("%w: transition to state %d of %d", ErrBadFormat, to, numStates)
+		}
+	}
+	var numAccept uint32
+	if err := binary.Read(br, binary.LittleEndian, &numAccept); err != nil {
+		return nil, fmt.Errorf("%w: accept count: %v", ErrBadFormat, err)
+	}
+	if numAccept != numStates-acceptStart {
+		return nil, fmt.Errorf("%w: accept count %d != %d", ErrBadFormat, numAccept, numStates-acceptStart)
+	}
+	d.accepts = make([][]int32, numAccept)
+	for i := range d.accepts {
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("%w: accept set %d: %v", ErrBadFormat, i, err)
+		}
+		if count == 0 || count > 1<<20 {
+			return nil, fmt.Errorf("%w: accept set %d has %d ids", ErrBadFormat, i, count)
+		}
+		ids := make([]int32, count)
+		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+			return nil, fmt.Errorf("%w: accept set %d: %v", ErrBadFormat, i, err)
+		}
+		d.accepts[i] = ids
+	}
+	return d, nil
+}
+
+// countingWriter tracks bytes written and latches the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}

@@ -1,0 +1,185 @@
+package filter
+
+// Tests for the two filter-engine extensions: position registers
+// (counting conditions, §VI) and word-mask clear groups (cross-rule gap
+// fragment sharing).
+
+import (
+	"testing"
+)
+
+func TestApplyAtGapCondition(t *testing.T) {
+	p := NewProgramRegs(4, 1, 2)
+	p.SetAction(1, Action{Test: NoBit, Set: NoBit, Clear: NoBit, SetPos: 1})
+	p.SetAction(2, Action{Test: NoBit, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 5, Report: 9})
+
+	m := p.NewMemory()
+	regs := p.NewRegisters()
+	if len(regs) != 2 {
+		t.Fatalf("registers: %d", len(regs))
+	}
+
+	// Gap test against an unset register: drop.
+	if _, ok := p.ApplyAt(m, regs, 2, 100); ok {
+		t.Fatal("unset register must fail the gap test")
+	}
+	// Record position 10 (earliest).
+	p.ApplyAt(m, regs, 1, 10)
+	if regs[0] != 11 {
+		t.Fatalf("register should hold pos+1: %d", regs[0])
+	}
+	// A later occurrence must not overwrite the earliest.
+	p.ApplyAt(m, regs, 1, 50)
+	if regs[0] != 11 {
+		t.Fatalf("earliest-match register overwritten: %d", regs[0])
+	}
+	// Gap 4 (pos 14): 14-10 = 4 < 5 -> drop.
+	if _, ok := p.ApplyAt(m, regs, 2, 14); ok {
+		t.Fatal("gap below MinGap must drop")
+	}
+	// Gap 5 (pos 15): confirm.
+	if id, ok := p.ApplyAt(m, regs, 2, 15); !ok || id != 9 {
+		t.Fatalf("gap at MinGap: (%d,%v)", id, ok)
+	}
+}
+
+func TestApplyAtGapWithBitGuard(t *testing.T) {
+	// Combined condition: bit guard AND gap test, as produced for chains
+	// like A.*B.{n,}C.
+	p := NewProgramRegs(3, 2, 1)
+	p.SetAction(1, Action{Test: 0, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 3, Report: 5})
+	m := p.NewMemory()
+	regs := p.NewRegisters()
+	regs[0] = 1 // recorded at pos 0
+
+	if _, ok := p.ApplyAt(m, regs, 1, 10); ok {
+		t.Fatal("bit guard unset: drop even though gap passes")
+	}
+	m.setBit(0)
+	if id, ok := p.ApplyAt(m, regs, 1, 10); !ok || id != 5 {
+		t.Fatalf("both conditions met: (%d,%v)", id, ok)
+	}
+}
+
+func TestApplyWithoutRegistersDropsGapActions(t *testing.T) {
+	p := NewProgramRegs(2, 1, 1)
+	p.SetAction(1, Action{Test: NoBit, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 2, Report: 7})
+	m := p.NewMemory()
+	if _, ok := p.Apply(m, 1); ok {
+		t.Fatal("Apply (no registers) must drop gap actions")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	p := NewProgramRegs(3, 1, 1)
+	cases := []Action{
+		{Test: NoBit, Set: NoBit, Clear: NoBit, SetPos: 2},            // out of range
+		{Test: NoBit, Set: NoBit, Clear: NoBit, SetPos: -1},           // negative
+		{Test: NoBit, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 0}, // gap without distance
+	}
+	for _, a := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetAction(%+v) should panic", a)
+				}
+			}()
+			p.SetAction(1, a)
+		}()
+	}
+	if p.NumRegs() != 1 {
+		t.Errorf("NumRegs = %d", p.NumRegs())
+	}
+}
+
+func TestRegistersResetClone(t *testing.T) {
+	p := NewProgramRegs(2, 1, 3)
+	regs := p.NewRegisters()
+	regs[0], regs[2] = 5, 9
+	c := regs.Clone()
+	regs.Reset()
+	if regs[0] != 0 || regs[2] != 0 {
+		t.Error("Reset must zero registers")
+	}
+	if c[0] != 5 || c[2] != 9 {
+		t.Error("Clone must be independent")
+	}
+	// Programs without registers return nil register files.
+	if NewProgram(2, 1).NewRegisters() != nil {
+		t.Error("no-register program should return nil")
+	}
+	var nilRegs Registers
+	if nilRegs.Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestClearGroups(t *testing.T) {
+	p := NewProgram(3, 130) // memory spans three words
+	g := p.AddClearGroup([]int16{0, 63, 64, 129})
+	if g != 1 || p.NumClearGroups() != 1 {
+		t.Fatalf("group index %d, count %d", g, p.NumClearGroups())
+	}
+	ops := p.ClearGroupOps(g)
+	if len(ops) != 3 {
+		t.Fatalf("ops: %+v", ops)
+	}
+	p.SetAction(1, Action{Test: NoBit, Set: NoBit, Clear: NoBit, ClearGroup: g})
+
+	m := p.NewMemory()
+	for _, b := range []int16{0, 1, 63, 64, 100, 129} {
+		m.setBit(b)
+	}
+	p.Apply(m, 1)
+	for _, b := range []int16{0, 63, 64, 129} {
+		if m.Bit(b) {
+			t.Errorf("bit %d should be cleared", b)
+		}
+	}
+	for _, b := range []int16{1, 100} {
+		if !m.Bit(b) {
+			t.Errorf("bit %d should survive", b)
+		}
+	}
+}
+
+func TestClearGroupValidation(t *testing.T) {
+	p := NewProgram(2, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range group bit should panic")
+			}
+		}()
+		p.AddClearGroup([]int16{5})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown ClearGroup should panic")
+			}
+		}()
+		p.SetAction(1, Action{Test: NoBit, Set: NoBit, Clear: NoBit, ClearGroup: 3})
+	}()
+}
+
+func TestExtensionActionStrings(t *testing.T) {
+	p := NewProgramRegs(2, 1, 2)
+	_ = p
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{Action{Test: NoBit, Set: NoBit, Clear: NoBit, SetPos: 1}, "Record 1"},
+		{Action{Test: NoBit, Set: NoBit, Clear: NoBit, GapReg: 2, MinGap: 7, Report: 3},
+			"Gap(2) >= 7 to Match"},
+		{Action{Test: 0, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 4, Report: 3},
+			"Test 0 and Gap(1) >= 4 to Match"},
+		{Action{Test: NoBit, Set: NoBit, Clear: NoBit, ClearGroup: 2}, "ClearGroup 2"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("%+v: got %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package filter implements the stateful match-filtering component of the
+// MFA 9-tuple: the w-bit memory M = 2^w and the filtering transition
+// function f : M × Di → M × {Confirm, Drop}.
+//
+// Each internal match id produced by the DFA triggers one Action, a
+// 4-integer bytecode exactly as described in §IV-C of the paper: a memory
+// bit that must be set for the action to take effect (test), a bit to set,
+// a bit to clear, and a match id to report. Set and clear are applied and
+// the report emitted only when the test passes; a failed test drops the
+// match with no memory change.
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoBit marks an unused test/set/clear slot in an Action.
+const NoBit = -1
+
+// NoReg marks an unused position-register slot in an Action. Unlike the
+// bit indices, registers are numbered from 1 so that the zero value of
+// the new fields means "unused" and pre-extension Action literals remain
+// valid.
+const NoReg = 0
+
+// NoReport marks an Action that never confirms a match. Internal match
+// ids introduced by decomposition (the paper's 1a, 1b, ...) use it: they
+// exist only to update memory and must always be filtered.
+const NoReport = 0
+
+// Action is the per-match-id filter bytecode.
+type Action struct {
+	// Test is the memory bit that must be 1 for this action to take
+	// effect, or NoBit for an unconditional action.
+	Test int16
+	// Set is the memory bit to set when the action takes effect, or NoBit.
+	Set int16
+	// Clear is the memory bit to clear when the action takes effect, or
+	// NoBit. The splitter never emits an action that both sets and clears;
+	// the engine applies set before clear if one ever does.
+	Clear int16
+	// Report is the original rule id to confirm when the action takes
+	// effect, or NoReport.
+	Report int32
+
+	// The remaining fields implement the counting-condition extension the
+	// paper's §VI leaves as future work ("tracking the offsets of
+	// previous matches"). They extend f with position registers: per-flow
+	// int64 slots recording where a fragment first matched.
+
+	// SetPos is the 1-based register that records the current match
+	// position — only on its first (earliest) qualifying match — or
+	// NoReg. The earliest occurrence is the optimal witness for a
+	// minimum-gap constraint, so later matches never overwrite it.
+	SetPos int16
+	// GapReg is the 1-based register whose recorded position must precede
+	// the current one by at least MinGap bytes for this action to take
+	// effect, or NoReg. An unset register fails the condition.
+	GapReg int16
+	// MinGap is the required distance (current position minus recorded
+	// position) when GapReg is in use. For a gap rule A.{n,}B with a
+	// fixed B-length L, MinGap = n + L.
+	MinGap int32
+
+	// ClearGroup is the 1-based index of a word-mask clear group to
+	// apply, or 0 for none. Groups implement the §IV-C action merging at
+	// set scale: rules sharing an identical almost-dot-star gap class
+	// share one [X] fragment whose single action clears every member
+	// rule's guard bit with a handful of mask operations, instead of one
+	// match event per rule per gap byte.
+	ClearGroup int32
+}
+
+// DropAction is the action that unconditionally drops a match with no
+// memory effect. Action-table slots without an installed action hold it.
+var DropAction = Action{Test: NoBit, Set: NoBit, Clear: NoBit, Report: NoReport}
+
+// IsDrop reports whether the action is the no-effect drop action.
+func (a Action) IsDrop() bool {
+	return a == DropAction
+}
+
+// String renders the action in the paper's pseudocode style, e.g.
+// "Test 0 to Set 1" or "Test 2 to Match".
+func (a Action) String() string {
+	var parts []string
+	if a.Set != NoBit {
+		parts = append(parts, fmt.Sprintf("Set %d", a.Set))
+	}
+	if a.Clear != NoBit {
+		parts = append(parts, fmt.Sprintf("Clear %d", a.Clear))
+	}
+	if a.Report != NoReport {
+		parts = append(parts, "Match")
+	}
+	if a.ClearGroup != 0 {
+		parts = append(parts, fmt.Sprintf("ClearGroup %d", a.ClearGroup))
+	}
+	if a.SetPos != NoReg {
+		parts = append(parts, fmt.Sprintf("Record %d", a.SetPos))
+	}
+	body := strings.Join(parts, " and ")
+	if body == "" {
+		body = "Drop"
+	}
+	if a.GapReg != NoReg {
+		cond := fmt.Sprintf("Gap(%d) >= %d", a.GapReg, a.MinGap)
+		if body == "Drop" {
+			return cond
+		}
+		body = fmt.Sprintf("%s to %s", cond, body)
+		if a.Test == NoBit {
+			return body
+		}
+		return fmt.Sprintf("Test %d and %s", a.Test, body)
+	}
+	if a.Test != NoBit {
+		if len(parts) > 0 {
+			return fmt.Sprintf("Test %d to %s", a.Test, body)
+		}
+		return fmt.Sprintf("Test %d", a.Test)
+	}
+	return body
+}
+
+// ClearOp clears the masked bits of one memory word.
+type ClearOp struct {
+	Word int16
+	Mask uint64
+}
+
+// Program is the compiled filter: the action table indexed by internal
+// match id (Di), the memory width w, and the number of position
+// registers the counting extension uses. Internal id 0 is reserved and
+// never used, so the table's entry 0 stays the drop action.
+type Program struct {
+	actions     []Action
+	memBits     int
+	numRegs     int
+	clearGroups [][]ClearOp // 1-based via ClearGroup-1
+}
+
+// NewProgram returns a program with capacity for internal ids
+// 1..numIDs-1, a w-bit memory and no position registers.
+func NewProgram(numIDs, memBits int) *Program {
+	return NewProgramRegs(numIDs, memBits, 0)
+}
+
+// NewProgramRegs is NewProgram with numRegs position registers for
+// counting-gap actions.
+func NewProgramRegs(numIDs, memBits, numRegs int) *Program {
+	actions := make([]Action, numIDs)
+	for i := range actions {
+		actions[i] = DropAction
+	}
+	return &Program{
+		actions: actions,
+		memBits: memBits,
+		numRegs: numRegs,
+	}
+}
+
+// SetAction installs the action for an internal match id. It panics on an
+// out-of-range id or memory bit: the splitter allocates both, so a bad
+// value is a construction bug, not an input error.
+func (p *Program) SetAction(id int32, a Action) {
+	if id <= 0 || int(id) >= len(p.actions) {
+		panic(fmt.Sprintf("filter: action id %d out of range [1,%d)", id, len(p.actions)))
+	}
+	for _, bit := range []int16{a.Test, a.Set, a.Clear} {
+		if bit != NoBit && (bit < 0 || int(bit) >= p.memBits) {
+			panic(fmt.Sprintf("filter: memory bit %d out of range [0,%d)", bit, p.memBits))
+		}
+	}
+	for _, reg := range []int16{a.SetPos, a.GapReg} {
+		if reg != NoReg && (reg < 1 || int(reg) > p.numRegs) {
+			panic(fmt.Sprintf("filter: register %d out of range [1,%d]", reg, p.numRegs))
+		}
+	}
+	if a.GapReg != NoReg && a.MinGap < 1 {
+		panic(fmt.Sprintf("filter: gap action needs MinGap >= 1, got %d", a.MinGap))
+	}
+	if a.ClearGroup < 0 || int(a.ClearGroup) > len(p.clearGroups) {
+		panic(fmt.Sprintf("filter: clear group %d out of range [0,%d]", a.ClearGroup, len(p.clearGroups)))
+	}
+	p.actions[id] = a
+}
+
+// AddClearGroup registers a word-mask clear group, returning its 1-based
+// index for use in Action.ClearGroup. Bits must be valid memory bits.
+func (p *Program) AddClearGroup(bits []int16) int32 {
+	words := (p.memBits + 63) / 64
+	masks := make([]uint64, words)
+	for _, bit := range bits {
+		if bit < 0 || int(bit) >= p.memBits {
+			panic(fmt.Sprintf("filter: clear-group bit %d out of range [0,%d)", bit, p.memBits))
+		}
+		masks[bit>>6] |= 1 << (bit & 63)
+	}
+	ops := make([]ClearOp, 0, 2)
+	for w, m := range masks {
+		if m != 0 {
+			ops = append(ops, ClearOp{Word: int16(w), Mask: m})
+		}
+	}
+	p.clearGroups = append(p.clearGroups, ops)
+	return int32(len(p.clearGroups))
+}
+
+// Action returns the action for an internal match id, or DropAction for
+// unknown ids.
+func (p *Program) Action(id int32) Action {
+	if id <= 0 || int(id) >= len(p.actions) {
+		return DropAction
+	}
+	return p.actions[id]
+}
+
+// NumIDs returns the size of the action table, including the reserved
+// entry 0.
+func (p *Program) NumIDs() int { return len(p.actions) }
+
+// MemBits returns w, the number of memory bits a flow context needs.
+func (p *Program) MemBits() int { return p.memBits }
+
+// NumRegs returns the number of position registers a flow context needs.
+func (p *Program) NumRegs() int { return p.numRegs }
+
+// NumActiveActions returns how many non-drop actions are installed.
+func (p *Program) NumActiveActions() int {
+	n := 0
+	for _, a := range p.actions {
+		if !a.IsDrop() {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryImageBytes returns the static storage the filter engine needs:
+// the action table at 16 bytes per entry (five int16 indices, an int32
+// report id and an int32 gap, with alignment), mirroring the paper's
+// bytecode layout discussion extended with the counting registers.
+func (p *Program) MemoryImageBytes() int {
+	return len(p.actions) * 16
+}
+
+// String renders the whole program in the style of the paper's Table III.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for id, a := range p.actions {
+		if a.IsDrop() {
+			continue
+		}
+		fmt.Fprintf(&sb, "%d: %s\n", id, a.String())
+	}
+	return sb.String()
+}
+
+// Memory is one flow's w-bit filter memory, initialized to all zeros by
+// convention (§III-A). It is the (m) half of the paper's (q, m) pair.
+type Memory []uint64
+
+// NewMemory allocates a zeroed memory for the program's width.
+func (p *Program) NewMemory() Memory {
+	return make(Memory, (p.memBits+63)/64)
+}
+
+// Reset zeroes the memory for reuse on a new flow.
+func (m Memory) Reset() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// Bit reports the value of bit i.
+func (m Memory) Bit(i int16) bool {
+	return m[i>>6]&(1<<(i&63)) != 0
+}
+
+// setBit sets bit i.
+func (m Memory) setBit(i int16) {
+	m[i>>6] |= 1 << (i & 63)
+}
+
+// clearBit clears bit i.
+func (m Memory) clearBit(i int16) {
+	m[i>>6] &^= 1 << (i & 63)
+}
+
+// Clone returns an independent copy, used when flow contexts are saved.
+func (m Memory) Clone() Memory {
+	out := make(Memory, len(m))
+	copy(out, m)
+	return out
+}
+
+// NumClearGroups returns the number of registered clear groups.
+func (p *Program) NumClearGroups() int { return len(p.clearGroups) }
+
+// ClearGroupOps returns the mask operations of the 1-based clear group g.
+// The returned slice is shared and must not be modified.
+func (p *Program) ClearGroupOps(g int32) []ClearOp {
+	return p.clearGroups[g-1]
+}
+
+// Registers are one flow's position registers for counting-gap actions.
+// Slot values store position+1 so the zero value means "unset"; a fresh
+// flow starts all-unset.
+type Registers []int64
+
+// NewRegisters allocates a zeroed register file for the program.
+func (p *Program) NewRegisters() Registers {
+	if p.numRegs == 0 {
+		return nil
+	}
+	return make(Registers, p.numRegs)
+}
+
+// Reset clears all registers for reuse on a new flow.
+func (r Registers) Reset() {
+	for i := range r {
+		r[i] = 0
+	}
+}
+
+// Clone returns an independent copy, used when flow contexts are saved.
+func (r Registers) Clone() Registers {
+	if r == nil {
+		return nil
+	}
+	out := make(Registers, len(r))
+	copy(out, r)
+	return out
+}
+
+// Apply runs the action for internal match id against memory m,
+// returning the confirmed original rule id and true, or 0 and false when
+// the match is dropped. This is f : M × Di → M × {Confirm, Drop} for
+// programs without counting registers; programs that use them must go
+// through ApplyAt (Apply treats every gap condition as failed).
+func (p *Program) Apply(m Memory, id int32) (reportID int32, confirmed bool) {
+	return p.ApplyAt(m, nil, id, 0)
+}
+
+// ApplyAt is Apply extended with the counting-condition state: the flow's
+// position registers and the current match position.
+func (p *Program) ApplyAt(m Memory, regs Registers, id int32, pos int64) (reportID int32, confirmed bool) {
+	a := p.Action(id)
+	if a.Test != NoBit && !m.Bit(a.Test) {
+		return 0, false
+	}
+	if a.GapReg != NoReg {
+		if regs == nil {
+			return 0, false
+		}
+		recorded := regs[a.GapReg-1]
+		if recorded == 0 || pos+1-recorded < int64(a.MinGap) {
+			return 0, false
+		}
+	}
+	if a.SetPos != NoReg && regs != nil && regs[a.SetPos-1] == 0 {
+		regs[a.SetPos-1] = pos + 1
+	}
+	if a.Set != NoBit {
+		m.setBit(a.Set)
+	}
+	if a.Clear != NoBit {
+		m.clearBit(a.Clear)
+	}
+	if a.ClearGroup != 0 {
+		for _, op := range p.clearGroups[a.ClearGroup-1] {
+			m[op.Word] &^= op.Mask
+		}
+	}
+	if a.Report != NoReport {
+		return a.Report, true
+	}
+	return 0, false
+}

@@ -1,0 +1,230 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroActionDrops(t *testing.T) {
+	p := NewProgram(4, 2)
+	m := p.NewMemory()
+	if id, ok := p.Apply(m, 1); ok || id != 0 {
+		t.Fatalf("uninstalled action must drop, got (%d,%v)", id, ok)
+	}
+	// Out-of-range and reserved ids drop too.
+	for _, id := range []int32{0, -1, 99} {
+		if _, ok := p.Apply(m, id); ok {
+			t.Fatalf("id %d must drop", id)
+		}
+	}
+}
+
+func TestSetTestChain(t *testing.T) {
+	// The dot-star filter pair of §IV-A: 1a: Set 0, 1: Test 0 to Match.
+	p := NewProgram(3, 1)
+	p.SetAction(2, Action{Test: NoBit, Set: 0, Clear: NoBit})            // id 1a
+	p.SetAction(1, Action{Test: 0, Set: NoBit, Clear: NoBit, Report: 1}) // id 1
+
+	m := p.NewMemory()
+	// B before A: dropped.
+	if _, ok := p.Apply(m, 1); ok {
+		t.Fatal("match before Set must be dropped")
+	}
+	// A sets the bit but confirms nothing.
+	if _, ok := p.Apply(m, 2); ok {
+		t.Fatal("intermediate id must never confirm")
+	}
+	// Now B confirms with the original rule id.
+	if id, ok := p.Apply(m, 1); !ok || id != 1 {
+		t.Fatalf("want (1,true), got (%d,%v)", id, ok)
+	}
+	// Memory is persistent: a second B confirms again.
+	if _, ok := p.Apply(m, 1); !ok {
+		t.Fatal("bit should stay set")
+	}
+}
+
+func TestClearAction(t *testing.T) {
+	// The almost-dot-star filter triple of §IV-B:
+	// 1a: Set 0, 1b: Clear 0, 1: Test 0 to Match.
+	p := NewProgram(4, 1)
+	p.SetAction(2, Action{Test: NoBit, Set: 0, Clear: NoBit})
+	p.SetAction(3, Action{Test: NoBit, Set: NoBit, Clear: 0})
+	p.SetAction(1, Action{Test: 0, Set: NoBit, Clear: NoBit, Report: 7})
+
+	m := p.NewMemory()
+	p.Apply(m, 2) // A matched
+	p.Apply(m, 3) // X seen: clears
+	if _, ok := p.Apply(m, 1); ok {
+		t.Fatal("cleared bit must drop the match")
+	}
+	p.Apply(m, 2)
+	if id, ok := p.Apply(m, 1); !ok || id != 7 {
+		t.Fatalf("want (7,true), got (%d,%v)", id, ok)
+	}
+}
+
+func TestMergedTestToSet(t *testing.T) {
+	// §IV-C merged bytecode: "Test bit 1 to set bit 2" — the two-dot-star
+	// chain of Table III, action 7.
+	p := NewProgram(5, 4)
+	p.SetAction(1, Action{Test: NoBit, Set: 2, Clear: NoBit}) // 6: Set 2
+	p.SetAction(2, Action{Test: 2, Set: 3, Clear: NoBit})     // 7: Test 2 to Set 3
+	p.SetAction(3, Action{Test: 3, Set: NoBit, Clear: NoBit, Report: 3})
+
+	m := p.NewMemory()
+	if _, ok := p.Apply(m, 2); ok || m.Bit(3) {
+		t.Fatal("test must fail before bit 2 is set")
+	}
+	p.Apply(m, 1)
+	p.Apply(m, 2)
+	if !m.Bit(3) {
+		t.Fatal("chained set failed")
+	}
+	if id, ok := p.Apply(m, 3); !ok || id != 3 {
+		t.Fatalf("final action: (%d,%v)", id, ok)
+	}
+}
+
+func TestFailedTestHasNoSideEffects(t *testing.T) {
+	p := NewProgram(2, 3)
+	p.SetAction(1, Action{Test: 0, Set: 1, Clear: 2, Report: 9})
+	m := p.NewMemory()
+	m.setBit(2)
+	if _, ok := p.Apply(m, 1); ok {
+		t.Fatal("test should fail")
+	}
+	if m.Bit(1) || !m.Bit(2) {
+		t.Fatal("failed test must leave memory untouched")
+	}
+}
+
+func TestMemoryWidths(t *testing.T) {
+	for _, w := range []int{1, 63, 64, 65, 128, 200} {
+		p := NewProgram(2, w)
+		m := p.NewMemory()
+		if len(m) != (w+63)/64 {
+			t.Fatalf("w=%d: memory words=%d", w, len(m))
+		}
+		last := int16(w - 1)
+		m.setBit(last)
+		if !m.Bit(last) {
+			t.Fatalf("w=%d: cannot address last bit", w)
+		}
+		m.clearBit(last)
+		if m.Bit(last) {
+			t.Fatalf("w=%d: clear failed", w)
+		}
+	}
+}
+
+func TestMemoryResetAndClone(t *testing.T) {
+	p := NewProgram(2, 70)
+	m := p.NewMemory()
+	m.setBit(0)
+	m.setBit(69)
+	c := m.Clone()
+	m.Reset()
+	if m.Bit(0) || m.Bit(69) {
+		t.Fatal("Reset must zero all bits")
+	}
+	if !c.Bit(0) || !c.Bit(69) {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestSetActionValidation(t *testing.T) {
+	p := NewProgram(3, 2)
+	for _, tc := range []struct {
+		id int32
+		a  Action
+	}{
+		{0, Action{Test: NoBit, Set: NoBit, Clear: NoBit}},
+		{3, Action{Test: NoBit, Set: NoBit, Clear: NoBit}},
+		{1, Action{Test: 2, Set: NoBit, Clear: NoBit}},
+		{1, Action{Test: NoBit, Set: -5, Clear: NoBit}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetAction(%d,%+v) should panic", tc.id, tc.a)
+				}
+			}()
+			p.SetAction(tc.id, tc.a)
+		}()
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{Action{Test: NoBit, Set: 0, Clear: NoBit}, "Set 0"},
+		{Action{Test: NoBit, Set: NoBit, Clear: 0}, "Clear 0"},
+		{Action{Test: 0, Set: NoBit, Clear: NoBit, Report: 1}, "Test 0 to Match"},
+		{Action{Test: 2, Set: 3, Clear: NoBit}, "Test 2 to Set 3"},
+		{DropAction, "Drop"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("%+v: got %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewProgram(3, 1)
+	p.SetAction(1, Action{Test: 0, Set: NoBit, Clear: NoBit, Report: 1})
+	p.SetAction(2, Action{Test: NoBit, Set: 0, Clear: NoBit})
+	s := p.String()
+	if !strings.Contains(s, "1: Test 0 to Match") || !strings.Contains(s, "2: Set 0") {
+		t.Errorf("program rendering:\n%s", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewProgram(10, 5)
+	p.SetAction(3, Action{Test: NoBit, Set: 1, Clear: NoBit})
+	if p.NumActiveActions() != 1 {
+		t.Errorf("NumActiveActions = %d", p.NumActiveActions())
+	}
+	if p.MemBits() != 5 || p.NumIDs() != 10 {
+		t.Errorf("MemBits=%d NumIDs=%d", p.MemBits(), p.NumIDs())
+	}
+	if p.MemoryImageBytes() != 160 {
+		t.Errorf("image = %d, want 160", p.MemoryImageBytes())
+	}
+}
+
+// TestBitOpsQuick property-checks that set/clear/test behave as an
+// independent bit array for arbitrary operation sequences.
+func TestBitOpsQuick(t *testing.T) {
+	const w = 96
+	f := func(ops []uint16) bool {
+		p := NewProgram(2, w)
+		m := p.NewMemory()
+		ref := make([]bool, w)
+		for _, op := range ops {
+			bit := int16(op % w)
+			switch (op / w) % 2 {
+			case 0:
+				m.setBit(bit)
+				ref[bit] = true
+			case 1:
+				m.clearBit(bit)
+				ref[bit] = false
+			}
+		}
+		for i := int16(0); i < w; i++ {
+			if m.Bit(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package filter
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Serialization of filter programs, versioned alongside the DFA format:
+//
+//	magic "MFFLT1\n", u32 numIDs, u32 memBits, u32 numRegs
+//	numIDs × action records (i16 test/set/clear/setpos/gapreg,
+//	i32 mingap, i32 report, i32 cleargroup)
+//	u32 numGroups, then per group: u32 count, count × (i16 word, u64 mask)
+const programMagic = "MFFLT1\n"
+
+// ErrBadFormat is returned (wrapped) when decoding unrecognized or
+// corrupt data.
+var ErrBadFormat = errors.New("filter: bad serialized format")
+
+// actionRecord is the fixed-width on-disk form of Action.
+type actionRecord struct {
+	Test, Set, Clear, SetPos, GapReg int16
+	_                                int16
+	MinGap                           int32
+	Report                           int32
+	ClearGroup                       int32
+}
+
+// WriteTo serializes the program. It implements io.WriterTo.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	werr := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	n := func() int64 { return cw.n }
+
+	if _, err := bw.WriteString(programMagic); err != nil {
+		return n(), err
+	}
+	header := []uint32{uint32(len(p.actions)), uint32(p.memBits), uint32(p.numRegs)}
+	if err := werr(header); err != nil {
+		return n(), err
+	}
+	for _, a := range p.actions {
+		rec := actionRecord{
+			Test: a.Test, Set: a.Set, Clear: a.Clear,
+			SetPos: a.SetPos, GapReg: a.GapReg,
+			MinGap: a.MinGap, Report: a.Report, ClearGroup: a.ClearGroup,
+		}
+		if err := werr(rec); err != nil {
+			return n(), err
+		}
+	}
+	if err := werr(uint32(len(p.clearGroups))); err != nil {
+		return n(), err
+	}
+	for _, ops := range p.clearGroups {
+		if err := werr(uint32(len(ops))); err != nil {
+			return n(), err
+		}
+		for _, op := range ops {
+			if err := werr(op.Word); err != nil {
+				return n(), err
+			}
+			if err := werr(op.Mask); err != nil {
+				return n(), err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n(), err
+	}
+	return n(), nil
+}
+
+// countingWriter tracks bytes written to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ReadProgram deserializes a program written by WriteTo, re-validating
+// every action so corrupt data cannot address out-of-range bits. It
+// never reads past the end of the serialized program; callers should
+// pass an already-buffered reader.
+func ReadProgram(r io.Reader) (*Program, error) {
+	br := r
+	magic := make([]byte, len(programMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != programMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var header [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	numIDs, memBits, numRegs := header[0], header[1], header[2]
+	if numIDs == 0 || numIDs > 1<<20 || memBits > 1<<16 || numRegs > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible header %v", ErrBadFormat, header)
+	}
+
+	records := make([]actionRecord, numIDs)
+	if err := binary.Read(br, binary.LittleEndian, records); err != nil {
+		return nil, fmt.Errorf("%w: actions: %v", ErrBadFormat, err)
+	}
+	var numGroups uint32
+	if err := binary.Read(br, binary.LittleEndian, &numGroups); err != nil {
+		return nil, fmt.Errorf("%w: groups: %v", ErrBadFormat, err)
+	}
+	if numGroups > 1<<20 {
+		return nil, fmt.Errorf("%w: %d clear groups", ErrBadFormat, numGroups)
+	}
+
+	p := NewProgramRegs(int(numIDs), int(memBits), int(numRegs))
+	for g := uint32(0); g < numGroups; g++ {
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("%w: group %d: %v", ErrBadFormat, g, err)
+		}
+		words := (int(memBits) + 63) / 64
+		if int(count) > words {
+			return nil, fmt.Errorf("%w: group %d has %d ops", ErrBadFormat, g, count)
+		}
+		ops := make([]ClearOp, count)
+		for i := range ops {
+			if err := binary.Read(br, binary.LittleEndian, &ops[i].Word); err != nil {
+				return nil, fmt.Errorf("%w: group %d: %v", ErrBadFormat, g, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &ops[i].Mask); err != nil {
+				return nil, fmt.Errorf("%w: group %d: %v", ErrBadFormat, g, err)
+			}
+			if int(ops[i].Word) >= words || ops[i].Word < 0 {
+				return nil, fmt.Errorf("%w: group %d word %d", ErrBadFormat, g, ops[i].Word)
+			}
+		}
+		p.clearGroups = append(p.clearGroups, ops)
+	}
+
+	// Install actions through SetAction so all invariants are rechecked;
+	// convert its panics into decode errors.
+	var err error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("%w: %v", ErrBadFormat, rec)
+			}
+		}()
+		for id := 1; id < int(numIDs); id++ {
+			rec := records[id]
+			p.SetAction(int32(id), Action{
+				Test: rec.Test, Set: rec.Set, Clear: rec.Clear,
+				SetPos: rec.SetPos, GapReg: rec.GapReg,
+				MinGap: rec.MinGap, Report: rec.Report, ClearGroup: rec.ClearGroup,
+			})
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,243 @@
+// Package flow reassembles TCP streams from packet captures and drives a
+// matching engine over each flow's in-order payload. This is the §III-B
+// "multiplexed flows" path of the paper: the scanner keeps one small
+// context per flow — for the MFA, the (q, m) pair — and packets of many
+// interleaved connections advance their own flow's context independently.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"matchfilter/internal/pcap"
+)
+
+// Runner is the per-flow matching context every engine in this repository
+// provides (dfa, core, hfa, xfa all satisfy it).
+type Runner interface {
+	// Feed advances the flow over in-order payload bytes.
+	Feed(data []byte, onMatch func(id int32, pos int64))
+	// Reset rewinds the context for reuse on a new flow.
+	Reset()
+}
+
+// Match is one confirmed match attributed to a flow.
+type Match struct {
+	Flow pcap.FlowKey
+	ID   int32
+	Pos  int64
+}
+
+// Config bounds the reassembler.
+type Config struct {
+	// MaxBufferedSegments caps out-of-order segments held per flow;
+	// overflow drops the oldest. 0 means 64.
+	MaxBufferedSegments int
+	// MaxFlows caps tracked flows; 0 means unlimited.
+	MaxFlows int
+}
+
+// Assembler demultiplexes TCP segments into flows, restores byte order,
+// and feeds each flow's stream to a Runner obtained from the factory.
+type Assembler struct {
+	cfg       Config
+	newRunner func() Runner
+	flows     map[pcap.FlowKey]*flowCtx
+	onMatch   func(Match)
+	// Stats.
+	packets       int64
+	payloadBytes  int64
+	outOfOrder    int64
+	droppedSegs   int64
+	skippedFrames int64
+}
+
+type flowCtx struct {
+	runner  Runner
+	nextSeq uint32
+	started bool
+	// pending holds out-of-order segments keyed by sequence number.
+	pending map[uint32][]byte
+	order   []uint32 // insertion order, for bounded eviction
+}
+
+// NewAssembler creates an assembler. newRunner is called once per new
+// flow; onMatch (may be nil) receives every confirmed match.
+func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Assembler {
+	if cfg.MaxBufferedSegments <= 0 {
+		cfg.MaxBufferedSegments = 64
+	}
+	return &Assembler{
+		cfg:       cfg,
+		newRunner: newRunner,
+		flows:     make(map[pcap.FlowKey]*flowCtx),
+		onMatch:   onMatch,
+	}
+}
+
+// Stats reports reassembly counters.
+type Stats struct {
+	Packets       int64
+	PayloadBytes  int64
+	Flows         int
+	OutOfOrder    int64
+	DroppedSegs   int64
+	SkippedFrames int64
+}
+
+// Stats returns the counters accumulated so far.
+func (a *Assembler) Stats() Stats {
+	return Stats{
+		Packets:       a.packets,
+		PayloadBytes:  a.payloadBytes,
+		Flows:         len(a.flows),
+		OutOfOrder:    a.outOfOrder,
+		DroppedSegs:   a.droppedSegs,
+		SkippedFrames: a.skippedFrames,
+	}
+}
+
+// HandleFrame decodes one Ethernet frame and advances its flow. Non-TCP
+// frames are counted and skipped; decode errors on TCP frames are
+// returned.
+func (a *Assembler) HandleFrame(frame []byte) error {
+	seg, err := pcap.DecodeTCP(frame)
+	if err != nil {
+		if errors.Is(err, pcap.ErrNotTCP) {
+			a.skippedFrames++
+			return nil
+		}
+		return err
+	}
+	a.packets++
+	a.handleSegment(seg)
+	return nil
+}
+
+func (a *Assembler) handleSegment(seg pcap.Segment) {
+	ctx, ok := a.flows[seg.Key]
+	if !ok {
+		if a.cfg.MaxFlows > 0 && len(a.flows) >= a.cfg.MaxFlows {
+			return
+		}
+		ctx = &flowCtx{
+			runner:  a.newRunner(),
+			pending: make(map[uint32][]byte),
+		}
+		a.flows[seg.Key] = ctx
+	}
+
+	if seg.Flags&pcap.FlagSYN != 0 {
+		ctx.nextSeq = seg.Seq + 1
+		ctx.started = true
+		return
+	}
+	if !ctx.started {
+		// Mid-stream pickup (no SYN observed): adopt the first data
+		// segment's sequence as the stream origin.
+		ctx.nextSeq = seg.Seq
+		ctx.started = true
+	}
+	if len(seg.Payload) > 0 {
+		a.deliver(seg.Key, ctx, seg.Seq, seg.Payload)
+	}
+	if seg.Flags&(pcap.FlagFIN|pcap.FlagRST) != 0 {
+		// Flow teardown: drop the context. (Its runner state is no longer
+		// needed; a production system would recycle it through a pool.)
+		delete(a.flows, seg.Key)
+	}
+}
+
+// deliver handles one data segment: in-order data feeds the engine
+// immediately, future data is buffered, stale/duplicate data is trimmed
+// or dropped.
+func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload []byte) {
+	switch {
+	case seq == ctx.nextSeq:
+		a.feed(key, ctx, payload)
+	case seqAfter(seq, ctx.nextSeq):
+		// Future segment: buffer until the gap fills.
+		a.outOfOrder++
+		if len(ctx.pending) >= a.cfg.MaxBufferedSegments {
+			oldest := ctx.order[0]
+			ctx.order = ctx.order[1:]
+			delete(ctx.pending, oldest)
+			a.droppedSegs++
+		}
+		if _, dup := ctx.pending[seq]; !dup {
+			buf := make([]byte, len(payload))
+			copy(buf, payload)
+			ctx.pending[seq] = buf
+			ctx.order = append(ctx.order, seq)
+		}
+		return
+	default:
+		// Stale or overlapping: trim the already-delivered prefix.
+		skip := ctx.nextSeq - seq
+		if uint32(len(payload)) <= skip {
+			a.droppedSegs++
+			return
+		}
+		a.feed(key, ctx, payload[skip:])
+	}
+	// Drain any buffered segments that are now in order.
+	for {
+		p, ok := ctx.pending[ctx.nextSeq]
+		if !ok {
+			return
+		}
+		seq := ctx.nextSeq
+		delete(ctx.pending, seq)
+		removeSeq(&ctx.order, seq)
+		a.feed(key, ctx, p)
+	}
+}
+
+func (a *Assembler) feed(key pcap.FlowKey, ctx *flowCtx, data []byte) {
+	ctx.nextSeq += uint32(len(data))
+	a.payloadBytes += int64(len(data))
+	if a.onMatch == nil {
+		ctx.runner.Feed(data, func(int32, int64) {})
+		return
+	}
+	ctx.runner.Feed(data, func(id int32, pos int64) {
+		a.onMatch(Match{Flow: key, ID: id, Pos: pos})
+	})
+}
+
+// seqAfter reports whether a is after b in 32-bit sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+func removeSeq(order *[]uint32, seq uint32) {
+	for i, s := range *order {
+		if s == seq {
+			*order = append((*order)[:i], (*order)[i+1:]...)
+			return
+		}
+	}
+}
+
+// ScanPcap reads a full capture from r and runs every TCP payload byte
+// through engines built by newRunner, returning the reassembly stats.
+// This is the measurement path of the Figure 4 experiment.
+func ScanPcap(r io.Reader, cfg Config, newRunner func() Runner, onMatch func(Match)) (Stats, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return Stats{}, err
+	}
+	a := NewAssembler(cfg, newRunner, onMatch)
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return a.Stats(), fmt.Errorf("flow: %w", err)
+		}
+		if err := a.HandleFrame(pkt.Data); err != nil {
+			return a.Stats(), fmt.Errorf("flow: %w", err)
+		}
+	}
+	return a.Stats(), nil
+}

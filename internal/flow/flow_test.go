@@ -1,0 +1,205 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/regexparse"
+)
+
+func buildMFA(t *testing.T, sources ...string) *core.MFA {
+	t.Helper()
+	rules := make([]core.Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules[i] = core.Rule{Pattern: p, ID: int32(i + 1)}
+	}
+	m, err := core.Compile(rules, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func key(i int) pcap.FlowKey {
+	return pcap.FlowKey{SrcIP: 0x0a000000 | uint32(i), DstIP: 1, SrcPort: uint16(i), DstPort: 80}
+}
+
+func newAsm(m *core.MFA, matches *[]Match) *Assembler {
+	return NewAssembler(Config{}, func() Runner { return m.NewRunner() },
+		func(mt Match) { *matches = append(*matches, mt) })
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	m := buildMFA(t, "attack.*payload")
+	var matches []Match
+	a := newAsm(m, &matches)
+
+	k := key(1)
+	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("attack then ")})
+	a.handleSegment(pcap.Segment{Key: k, Seq: 13, Flags: pcap.FlagACK, Payload: []byte("payload")})
+	if len(matches) != 1 {
+		t.Fatalf("matches: %v", matches)
+	}
+	if matches[0].Flow != k || matches[0].ID != 1 {
+		t.Fatalf("match: %+v", matches[0])
+	}
+	st := a.Stats()
+	if st.PayloadBytes != 19 || st.Flows != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	m := buildMFA(t, "needle")
+	var matches []Match
+	a := newAsm(m, &matches)
+
+	k := key(2)
+	// Segments delivered 3,1,2 (seq 1 is "nee", 4 is "dle").
+	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.handleSegment(pcap.Segment{Key: k, Seq: 4, Flags: pcap.FlagACK, Payload: []byte("dle")})
+	if len(matches) != 0 {
+		t.Fatal("future segment must be buffered, not fed")
+	}
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("nee")})
+	if len(matches) != 1 {
+		t.Fatalf("reordered match: %v", matches)
+	}
+	if a.Stats().OutOfOrder != 1 {
+		t.Errorf("stats: %+v", a.Stats())
+	}
+}
+
+func TestDuplicateAndOverlap(t *testing.T) {
+	m := buildMFA(t, "abcd")
+	var matches []Match
+	a := newAsm(m, &matches)
+
+	k := key(3)
+	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	// Retransmission with overlap: seq 1 again carrying "abcd".
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("abcd")})
+	if len(matches) != 1 {
+		t.Fatalf("overlap-trimmed match: %v", matches)
+	}
+	// Full duplicate of already-delivered data: dropped.
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	if a.Stats().DroppedSegs != 1 {
+		t.Errorf("stats: %+v", a.Stats())
+	}
+}
+
+func TestMultiplexedFlows(t *testing.T) {
+	// Two flows interleaved; each must match independently via its own
+	// (q, m) context, and a cross-flow split must NOT match.
+	m := buildMFA(t, "aa.*zz")
+	var matches []Match
+	a := newAsm(m, &matches)
+
+	k1, k2 := key(4), key(5)
+	a.handleSegment(pcap.Segment{Key: k1, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("aa..")})
+	a.handleSegment(pcap.Segment{Key: k2, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("zz..")})
+	if len(matches) != 0 {
+		t.Fatalf("cross-flow contamination: %v", matches)
+	}
+	a.handleSegment(pcap.Segment{Key: k1, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("zz")})
+	if len(matches) != 1 || matches[0].Flow != k1 {
+		t.Fatalf("flow 1 should match: %v", matches)
+	}
+	a.handleSegment(pcap.Segment{Key: k2, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("aa..zz")})
+	if len(matches) != 2 || matches[1].Flow != k2 {
+		t.Fatalf("flow 2 should match: %v", matches)
+	}
+}
+
+func TestFinTeardown(t *testing.T) {
+	m := buildMFA(t, "ab.*cd")
+	var matches []Match
+	a := newAsm(m, &matches)
+	k := key(6)
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	a.handleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
+	if a.Stats().Flows != 0 {
+		t.Errorf("flow must be dropped after FIN: %+v", a.Stats())
+	}
+	// A new flow with the same key starts fresh: no stale guard bit.
+	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("cd")})
+	if len(matches) != 0 {
+		t.Fatalf("stale context after teardown: %v", matches)
+	}
+}
+
+func TestMaxFlowsCap(t *testing.T) {
+	m := buildMFA(t, "x")
+	a := NewAssembler(Config{MaxFlows: 2}, func() Runner { return m.NewRunner() }, nil)
+	for i := 0; i < 5; i++ {
+		a.handleSegment(pcap.Segment{Key: key(i), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("y")})
+	}
+	if a.Stats().Flows != 2 {
+		t.Errorf("flow cap: %+v", a.Stats())
+	}
+}
+
+func TestBufferedSegmentCap(t *testing.T) {
+	m := buildMFA(t, "x")
+	a := NewAssembler(Config{MaxBufferedSegments: 4}, func() Runner { return m.NewRunner() }, nil)
+	k := key(7)
+	for i := 0; i < 10; i++ {
+		a.handleSegment(pcap.Segment{Key: k, Seq: uint32(100 + 10*i), Flags: pcap.FlagACK, Payload: []byte("zzz")})
+	}
+	if a.Stats().DroppedSegs == 0 {
+		t.Error("buffer cap should drop segments")
+	}
+}
+
+func TestScanPcapEndToEnd(t *testing.T) {
+	// Synthesize a capture whose flows contain a split-across-packets
+	// match, scan it, and verify reassembly finds it.
+	m := buildMFA(t, "evil.*string", "benign")
+	payloads := [][]byte{
+		[]byte("some evil stuff followed by a string of text"),
+		[]byte(strings.Repeat("nothing to see ", 50)),
+		[]byte("completely benign content"),
+	}
+	var buf bytes.Buffer
+	if err := pcap.Synthesize(&buf, payloads, 16, 0.2, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	var matches []Match
+	stats, err := ScanPcap(bytes.NewReader(buf.Bytes()), Config{},
+		func() Runner { return m.NewRunner() },
+		func(mt Match) { matches = append(matches, mt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantBytes := int64(0)
+	for _, p := range payloads {
+		wantBytes += int64(len(p))
+	}
+	if stats.PayloadBytes != wantBytes {
+		t.Errorf("payload bytes: %d, want %d", stats.PayloadBytes, wantBytes)
+	}
+	var evil, benign int
+	for _, mt := range matches {
+		switch mt.ID {
+		case 1:
+			evil++
+		case 2:
+			benign++
+		}
+	}
+	if evil != 1 || benign != 1 {
+		t.Fatalf("matches: evil=%d benign=%d (%v)", evil, benign, matches)
+	}
+}

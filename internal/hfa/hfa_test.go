@@ -1,0 +1,193 @@
+package hfa
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/regexparse"
+)
+
+func mustRules(t *testing.T, sources ...string) []Rule {
+	t.Helper()
+	rules := make([]Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rules[i] = Rule{Pattern: p, ID: int32(i + 1)}
+	}
+	return rules
+}
+
+func groundTruth(t *testing.T, rules []Rule) *dfa.Engine {
+	t.Helper()
+	nfaRules := make([]nfa.Rule, len(rules))
+	for i, r := range rules {
+		nfaRules[i] = nfa.Rule{Pattern: r.Pattern, MatchID: int(r.ID)}
+	}
+	n, err := nfa.Build(nfaRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dfa.FromNFA(n, dfa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dfa.NewEngine(d)
+}
+
+type event struct {
+	id  int32
+	pos int64
+}
+
+func sorted(evs []event) []event {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].pos != evs[j].pos {
+			return evs[i].pos < evs[j].pos
+		}
+		return evs[i].id < evs[j].id
+	})
+	return evs
+}
+
+func assertEquivalent(t *testing.T, sources []string, inputs [][]byte) {
+	t.Helper()
+	rules := mustRules(t, sources...)
+	h, err := Compile(rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := groundTruth(t, rules)
+	for _, input := range inputs {
+		var got, want []event
+		for _, ev := range h.Run(input) {
+			got = append(got, event{ev.RuleID, ev.Pos})
+		}
+		for _, ev := range gt.Run(input) {
+			want = append(want, event{ev.ID, ev.Pos})
+		}
+		got, want = sorted(got), sorted(want)
+		if len(got) != len(want) {
+			t.Fatalf("rules %v input %q:\nHFA   %v\ntruth %v", sources, input, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rules %v input %q:\nHFA   %v\ntruth %v", sources, input, got, want)
+			}
+		}
+	}
+}
+
+func TestEquivalenceFixed(t *testing.T) {
+	assertEquivalent(t,
+		[]string{"vi.*emacs", "bsd.*gnu", "abc.*mm?o.*xyz"},
+		[][]byte{
+			[]byte("vi.emacs.gnu.bsd.gnu.abc.mo.xyz"),
+			[]byte("emacs vi"),
+			[]byte("vi emacs vi emacs"),
+			[]byte(strings.Repeat("bsd gnu ", 10)),
+		})
+}
+
+func TestEquivalenceAlmostDotStarKeptWhole(t *testing.T) {
+	// HFA does not decompose [^X]* gaps; correctness must hold anyway.
+	assertEquivalent(t,
+		[]string{`foo[^\n]*bar`, "alpha.*omega"},
+		[][]byte{
+			[]byte("foo bar"),
+			[]byte("foo\nbar"),
+			[]byte("alpha foo omega bar"),
+			[]byte("foo foo\nbar bar"),
+		})
+}
+
+func TestEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"ab", "cde", "fgh", "xyz", "qq"}
+	gaps := []string{".*", "[^\\n]*"}
+	for trial := 0; trial < 25; trial++ {
+		var sources []string
+		for ri := 0; ri < 1+rng.Intn(3); ri++ {
+			var sb strings.Builder
+			for si := 0; si < 1+rng.Intn(3); si++ {
+				if si > 0 {
+					sb.WriteString(gaps[rng.Intn(len(gaps))])
+				}
+				sb.WriteString(words[rng.Intn(len(words))])
+			}
+			sources = append(sources, sb.String())
+		}
+		var inputs [][]byte
+		for ii := 0; ii < 4; ii++ {
+			var sb strings.Builder
+			for sb.Len() < 10+rng.Intn(80) {
+				switch rng.Intn(4) {
+				case 0:
+					sb.WriteString(words[rng.Intn(len(words))])
+				case 1:
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte("abcdefghqxyz "[rng.Intn(13)])
+				}
+			}
+			inputs = append(inputs, []byte(sb.String()))
+		}
+		assertEquivalent(t, sources, inputs)
+	}
+}
+
+func TestImageLargerThanDFAEquivalent(t *testing.T) {
+	// The HFA cell table is 4x a flat DFA table of the same state count.
+	rules := mustRules(t, "alpha.*omega", "foo.*bar")
+	h, err := Compile(rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemoryImageBytes() < h.NumStates()*256*16 {
+		t.Errorf("image %d below cell-table floor", h.MemoryImageBytes())
+	}
+}
+
+func TestStreamingRunner(t *testing.T) {
+	rules := mustRules(t, "needle.*haystack")
+	h, err := Compile(rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.NewRunner()
+	var got []event
+	r.Feed([]byte("need"), func(id int32, pos int64) { got = append(got, event{id, pos}) })
+	r.Feed([]byte("le hays"), func(id int32, pos int64) { got = append(got, event{id, pos}) })
+	r.Feed([]byte("tack"), func(id int32, pos int64) { got = append(got, event{id, pos}) })
+	if len(got) != 1 || got[0].pos != 14 {
+		t.Fatalf("streaming: %v", got)
+	}
+	if r.Pos() != 15 {
+		t.Errorf("Pos = %d", r.Pos())
+	}
+	r.Reset()
+	if c := r.FeedCount([]byte("needle haystack")); c != 1 {
+		t.Errorf("FeedCount = %d", c)
+	}
+}
+
+func TestMultiMatchOverflowCells(t *testing.T) {
+	// Rules engineered so one state reports several ids at once.
+	assertEquivalent(t,
+		[]string{"abc", "bc", "c"},
+		[][]byte{[]byte("abc"), []byte("xbc"), []byte("ccc")})
+	rules := mustRules(t, "abc", "bc", "c")
+	h, err := Compile(rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().OverflowLen == 0 {
+		t.Error("expected overflow cells for coinciding matches")
+	}
+}

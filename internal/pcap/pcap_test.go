@@ -1,0 +1,197 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pkts := []Packet{
+		{TsSec: 1, TsUsec: 100, Data: []byte{1, 2, 3}},
+		{TsSec: 2, TsUsec: 200, Data: []byte{}},
+		{TsSec: 3, TsUsec: 300, Data: bytes.Repeat([]byte{0xab}, 1500)},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type %d", r.LinkType())
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got.TsSec != want.TsSec || got.TsUsec != want.TsUsec || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("want ErrShortHeader, got %v", err)
+	}
+}
+
+func TestTCPEncodeDecodeRoundTrip(t *testing.T) {
+	key := FlowKey{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 12345, DstPort: 80}
+	payload := []byte("GET / HTTP/1.1\r\n")
+	frame := EncodeTCP(key, 4242, FlagACK|FlagPSH, payload)
+
+	seg, err := DecodeTCP(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Key != key {
+		t.Errorf("key: got %v, want %v", seg.Key, key)
+	}
+	if seg.Seq != 4242 {
+		t.Errorf("seq: %d", seg.Seq)
+	}
+	if seg.Flags != FlagACK|FlagPSH {
+		t.Errorf("flags: %#x", seg.Flags)
+	}
+	if !bytes.Equal(seg.Payload, payload) {
+		t.Errorf("payload mismatch: %q", seg.Payload)
+	}
+}
+
+func TestDecodeNonTCP(t *testing.T) {
+	// ARP ethertype.
+	frame := EncodeTCP(FlowKey{}, 0, 0, nil)
+	frame[12], frame[13] = 0x08, 0x06
+	if _, err := DecodeTCP(frame); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("ARP: want ErrNotTCP, got %v", err)
+	}
+	// UDP protocol.
+	frame = EncodeTCP(FlowKey{}, 0, 0, nil)
+	frame[14+9] = 17
+	if _, err := DecodeTCP(frame); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("UDP: want ErrNotTCP, got %v", err)
+	}
+	// Truncated.
+	if _, err := DecodeTCP([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame should error")
+	}
+	// Corrupt IHL.
+	frame = EncodeTCP(FlowKey{}, 0, 0, nil)
+	frame[14] = 0x41
+	if _, err := DecodeTCP(frame); err == nil {
+		t.Error("bad IHL should error")
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	key := FlowKey{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 1, DstPort: 2}
+	want := "10.0.0.1:1->192.168.1.1:2"
+	if got := key.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestSynthesizeStructure(t *testing.T) {
+	payloads := [][]byte{
+		bytes.Repeat([]byte("alpha "), 100),
+		bytes.Repeat([]byte("beta "), 200),
+		bytes.Repeat([]byte("gamma "), 50),
+	}
+	var buf bytes.Buffer
+	if err := Synthesize(&buf, payloads, 256, 0.1, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFlow := map[FlowKey][]Segment{}
+	syns, fins := 0, 0
+	for {
+		pkt, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := DecodeTCP(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Flags&FlagSYN != 0 {
+			syns++
+		}
+		if seg.Flags&FlagFIN != 0 {
+			fins++
+		}
+		if len(seg.Payload) > 0 {
+			perFlow[seg.Key] = append(perFlow[seg.Key], seg)
+		}
+	}
+	if syns != len(payloads) || fins != len(payloads) {
+		t.Errorf("syns=%d fins=%d, want %d each", syns, fins, len(payloads))
+	}
+	if len(perFlow) != len(payloads) {
+		t.Fatalf("flows: %d", len(perFlow))
+	}
+	// Reassembling each flow by sequence number must reproduce its payload.
+	for key, segs := range perFlow {
+		buf := map[uint32][]byte{}
+		total := 0
+		for _, s := range segs {
+			buf[s.Seq] = s.Payload
+			total += len(s.Payload)
+		}
+		assembled := make([]byte, 0, total)
+		seq := uint32(1)
+		for len(assembled) < total {
+			p, ok := buf[seq]
+			if !ok {
+				t.Fatalf("flow %v: gap at seq %d", key, seq)
+			}
+			assembled = append(assembled, p...)
+			seq += uint32(len(p))
+		}
+		found := false
+		for _, want := range payloads {
+			if bytes.Equal(assembled, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("flow %v: reassembled payload matches no input", key)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	payloads := [][]byte{[]byte("hello world hello world")}
+	var a, b bytes.Buffer
+	if err := Synthesize(&a, payloads, 8, 0.3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(&b, payloads, 8, 0.3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("synthesis must be deterministic in seed")
+	}
+}

@@ -1,0 +1,123 @@
+package pcap
+
+import (
+	"io"
+	"math/rand"
+)
+
+// Synthesize writes a capture containing the given flow payloads as
+// interleaved TCP streams: each payload is segmented at mss bytes, flows
+// are multiplexed in randomized round-robin order (as concurrent
+// connections appear on a link), and with probability oooProb a segment
+// is emitted one position early, exercising the reassembler's
+// out-of-order path. Sequence numbers start at 1 after an initial SYN,
+// and each flow ends with FIN. Generation is deterministic in seed.
+func Synthesize(w io.Writer, payloads [][]byte, mss int, oooProb float64, seed int64) error {
+	if mss <= 0 {
+		mss = 1460
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pw := NewWriter(w)
+
+	flows := make([]*flowState, len(payloads))
+	for i, p := range payloads {
+		flows[i] = &flowState{
+			key: FlowKey{
+				SrcIP:   0x0a000000 | uint32(i+1), // 10.0.x.x clients
+				DstIP:   0xc0a80101,               // 192.168.1.1 server
+				SrcPort: uint16(20000 + i),
+				DstPort: 80,
+			},
+			payload: p,
+			// The SYN occupies sequence number 0; data starts at 1.
+			seq: 0,
+		}
+	}
+
+	ts := uint32(0)
+	usec := uint32(0)
+	emit := func(fs *flowState, flags uint8, chunk []byte) error {
+		usec += 50 + uint32(rng.Intn(400))
+		if usec >= 1_000_000 {
+			usec -= 1_000_000
+			ts++
+		}
+		frame := EncodeTCP(fs.key, fs.seq, flags, chunk)
+		return pw.WritePacket(Packet{TsSec: ts, TsUsec: usec, Data: frame})
+	}
+
+	// SYNs first, as captures of fresh connections look.
+	for _, fs := range flows {
+		if err := emit(fs, FlagSYN, nil); err != nil {
+			return err
+		}
+		fs.seq = 1
+	}
+
+	remaining := len(flows)
+	var held *flowState // a segment delayed to create reordering
+	var heldSeq uint32
+	var heldChunk []byte
+	for remaining > 0 {
+		fs := flows[rng.Intn(len(flows))]
+		if fs.done {
+			continue
+		}
+		if fs.off >= len(fs.payload) {
+			if err := emit(fs, FlagFIN|FlagACK, nil); err != nil {
+				return err
+			}
+			fs.done = true
+			remaining--
+			continue
+		}
+		end := fs.off + mss
+		if end > len(fs.payload) {
+			end = len(fs.payload)
+		}
+		chunk := fs.payload[fs.off:end]
+		seq := fs.seq
+		fs.off = end
+		fs.seq += uint32(len(chunk))
+
+		if held == nil && oooProb > 0 && rng.Float64() < oooProb && fs.off < len(fs.payload) {
+			// Hold this segment; its successor will be emitted first.
+			held, heldSeq, heldChunk = fs, seq, chunk
+			continue
+		}
+		fs2 := fs
+		if err := emitSeg(emit, fs2, seq, chunk); err != nil {
+			return err
+		}
+		if held != nil {
+			if err := emitSeg(emit, held, heldSeq, heldChunk); err != nil {
+				return err
+			}
+			held = nil
+		}
+	}
+	if held != nil {
+		if err := emitSeg(emit, held, heldSeq, heldChunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitSeg emits a data segment with an explicit sequence number.
+func emitSeg(emit func(*flowState, uint8, []byte) error, fs *flowState, seq uint32, chunk []byte) error {
+	saved := fs.seq
+	fs.seq = seq
+	err := emit(fs, FlagACK|FlagPSH, chunk)
+	fs.seq = saved
+	return err
+}
+
+// flowState tracks one synthesized TCP stream's emission progress.
+type flowState struct {
+	key     FlowKey
+	payload []byte
+	off     int
+	seq     uint32
+	done    bool
+}

@@ -1,0 +1,136 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FlowKey identifies one TCP direction: the classic 5-tuple with the
+// protocol fixed to TCP.
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", ipString(k.SrcIP), k.SrcPort, ipString(k.DstIP), k.DstPort)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// TCPFlags of interest to reassembly.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// Segment is one decoded TCP segment.
+type Segment struct {
+	Key     FlowKey
+	Seq     uint32
+	Flags   uint8
+	Payload []byte
+}
+
+// ErrNotTCP marks frames that are not Ethernet/IPv4/TCP; callers skip
+// them, as the scanners in the paper do for non-TCP traffic.
+var ErrNotTCP = errors.New("pcap: not an IPv4/TCP frame")
+
+const (
+	etherTypeIPv4 = 0x0800
+	protoTCP      = 6
+	etherHdrLen   = 14
+	ipv4MinHdrLen = 20
+	tcpMinHdrLen  = 20
+)
+
+// DecodeTCP parses an Ethernet frame into a TCP segment. It returns
+// ErrNotTCP (wrapped) for ARP, IPv6, UDP and other non-TCP frames and a
+// descriptive error for truncated ones.
+func DecodeTCP(frame []byte) (Segment, error) {
+	if len(frame) < etherHdrLen {
+		return Segment{}, fmt.Errorf("pcap: short ethernet frame (%d bytes)", len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[12:]) != etherTypeIPv4 {
+		return Segment{}, fmt.Errorf("%w: ethertype %#04x", ErrNotTCP, binary.BigEndian.Uint16(frame[12:]))
+	}
+	ip := frame[etherHdrLen:]
+	if len(ip) < ipv4MinHdrLen {
+		return Segment{}, errors.New("pcap: short IPv4 header")
+	}
+	if ip[0]>>4 != 4 {
+		return Segment{}, fmt.Errorf("%w: IP version %d", ErrNotTCP, ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4MinHdrLen || len(ip) < ihl {
+		return Segment{}, fmt.Errorf("pcap: bad IHL %d", ihl)
+	}
+	if ip[9] != protoTCP {
+		return Segment{}, fmt.Errorf("%w: protocol %d", ErrNotTCP, ip[9])
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:]))
+	if totalLen < ihl || totalLen > len(ip) {
+		return Segment{}, fmt.Errorf("pcap: bad IPv4 total length %d", totalLen)
+	}
+	tcp := ip[ihl:totalLen]
+	if len(tcp) < tcpMinHdrLen {
+		return Segment{}, errors.New("pcap: short TCP header")
+	}
+	dataOff := int(tcp[12]>>4) * 4
+	if dataOff < tcpMinHdrLen || dataOff > len(tcp) {
+		return Segment{}, fmt.Errorf("pcap: bad TCP data offset %d", dataOff)
+	}
+	return Segment{
+		Key: FlowKey{
+			SrcIP:   binary.BigEndian.Uint32(ip[12:]),
+			DstIP:   binary.BigEndian.Uint32(ip[16:]),
+			SrcPort: binary.BigEndian.Uint16(tcp[0:]),
+			DstPort: binary.BigEndian.Uint16(tcp[2:]),
+		},
+		Seq:     binary.BigEndian.Uint32(tcp[4:]),
+		Flags:   tcp[13],
+		Payload: tcp[dataOff:],
+	}, nil
+}
+
+// EncodeTCP builds an Ethernet/IPv4/TCP frame carrying payload. The MACs
+// are fixed locally-administered addresses; checksums are left zero, as
+// is common for synthesized captures (no stack will verify them).
+func EncodeTCP(key FlowKey, seq uint32, flags uint8, payload []byte) []byte {
+	ipLen := ipv4MinHdrLen + tcpMinHdrLen + len(payload)
+	frame := make([]byte, etherHdrLen+ipLen)
+
+	// Ethernet.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 0x02})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 0x01})
+	binary.BigEndian.PutUint16(frame[12:], etherTypeIPv4)
+
+	// IPv4.
+	ip := frame[etherHdrLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = protoTCP
+	binary.BigEndian.PutUint32(ip[12:], key.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], key.DstIP)
+
+	// TCP.
+	tcp := ip[ipv4MinHdrLen:]
+	binary.BigEndian.PutUint16(tcp[0:], key.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:], key.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:], seq)
+	tcp[12] = (tcpMinHdrLen / 4) << 4
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:], 65535) // window
+
+	copy(tcp[tcpMinHdrLen:], payload)
+	return frame
+}

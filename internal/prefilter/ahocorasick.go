@@ -1,0 +1,120 @@
+// Package prefilter implements a Snort-style two-pass matcher, the
+// approach §II-A of the paper calls "most similar" to match filtering:
+// an Aho-Corasick string engine scans the payload once for each rule's
+// literal "content" strings, and only rules whose contents all appeared
+// are then verified by running their individual regexes over the payload
+// again. The paper's criticism — "it requires multiple passes over the
+// input content, increasing the total amount of work done and requiring
+// more buffering" — is directly measurable against the MFA, which needs
+// one pass and no payload retention.
+package prefilter
+
+import (
+	"matchfilter/internal/regexparse"
+)
+
+// acNode is one Aho-Corasick trie state with dense transitions. Sets are
+// small (hundreds of strings), so the dense layout is affordable and
+// keeps the scan loop branch-free.
+type acNode struct {
+	next [regexparse.AlphabetSize]int32
+	fail int32
+	out  []int32 // pattern indices ending at this state
+}
+
+// AC is an Aho-Corasick automaton over byte strings.
+type AC struct {
+	nodes []acNode
+}
+
+// BuildAC constructs the automaton for the given patterns. Empty
+// patterns are ignored (they would match everywhere).
+func BuildAC(patterns [][]byte) *AC {
+	a := &AC{nodes: make([]acNode, 1, 64)}
+
+	// Phase 1: trie.
+	for idx, p := range patterns {
+		if len(p) == 0 {
+			continue
+		}
+		state := int32(0)
+		for _, c := range p {
+			next := a.nodes[state].next[c]
+			if next == 0 {
+				next = int32(len(a.nodes))
+				a.nodes = append(a.nodes, acNode{})
+				a.nodes[state].next[c] = next
+			}
+			state = next
+		}
+		a.nodes[state].out = append(a.nodes[state].out, int32(idx))
+	}
+
+	// Phase 2: BFS failure links, then convert to a complete goto
+	// function (next[c] always defined) so scanning needs no fail-chain
+	// walking.
+	queue := make([]int32, 0, len(a.nodes))
+	for c := 0; c < regexparse.AlphabetSize; c++ {
+		if child := a.nodes[0].next[c]; child != 0 {
+			a.nodes[child].fail = 0
+			queue = append(queue, child)
+		}
+	}
+	for len(queue) > 0 {
+		state := queue[0]
+		queue = queue[1:]
+		for c := 0; c < regexparse.AlphabetSize; c++ {
+			child := a.nodes[state].next[c]
+			if child == 0 {
+				// Complete the goto function via the failure state.
+				a.nodes[state].next[c] = a.nodes[a.nodes[state].fail].next[c]
+				continue
+			}
+			fail := a.nodes[a.nodes[state].fail].next[c]
+			a.nodes[child].fail = fail
+			a.nodes[child].out = append(a.nodes[child].out, a.nodes[fail].out...)
+			queue = append(queue, child)
+		}
+	}
+	return a
+}
+
+// NumStates returns the automaton's state count.
+func (a *AC) NumStates() int { return len(a.nodes) }
+
+// MemoryImageBytes returns the static storage: dense transition rows plus
+// failure links and output lists.
+func (a *AC) MemoryImageBytes() int {
+	total := len(a.nodes) * (regexparse.AlphabetSize*4 + 4 + 8)
+	for i := range a.nodes {
+		total += len(a.nodes[i].out) * 4
+	}
+	return total
+}
+
+// Scan runs the automaton over data, invoking fn for every occurrence of
+// every pattern (pattern index, end offset).
+func (a *AC) Scan(data []byte, fn func(pattern int32, pos int)) {
+	state := int32(0)
+	for i := 0; i < len(data); i++ {
+		state = a.nodes[state].next[data[i]]
+		for _, p := range a.nodes[state].out {
+			fn(p, i)
+		}
+	}
+}
+
+// ScanSet marks, in seen, every pattern that occurs in data at least
+// once. seen must have one entry per pattern; this is the pre-filter
+// pass, which needs only presence, not positions.
+func (a *AC) ScanSet(data []byte, seen []bool) {
+	state := int32(0)
+	for i := 0; i < len(data); i++ {
+		state = a.nodes[state].next[data[i]]
+		if out := a.nodes[state].out; len(out) != 0 {
+			for _, p := range out {
+				seen[p] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package prefilter
+
+import (
+	"fmt"
+	"time"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/regexparse"
+)
+
+// Rule is one input regex and the id reported when it matches.
+type Rule struct {
+	Pattern *regexparse.Pattern
+	ID      int32
+}
+
+// Engine is the two-pass matcher: an AC pre-filter over each rule's
+// longest required literal, plus one small per-rule DFA used to verify
+// candidate rules with a second pass over the payload.
+type Engine struct {
+	ac *AC
+	// contentRule[i] is the rule index whose content string is AC
+	// pattern i.
+	contentRule []int
+	// verifiers[r] is rule r's own DFA engine; alwaysVerify lists rules
+	// with no extractable content, which must be verified on every flow.
+	verifiers    []*dfa.Engine
+	alwaysVerify []int
+	numContents  int
+	stats        BuildStats
+}
+
+// BuildStats records construction results.
+type BuildStats struct {
+	NumRules    int
+	NumContents int // rules with an extractable content literal
+	ACStates    int
+	VerifierQs  int // total states across per-rule verifier DFAs
+	BuildTime   time.Duration
+}
+
+// Compile builds the two-pass engine.
+func Compile(rules []Rule) (*Engine, error) {
+	start := time.Now()
+	e := &Engine{verifiers: make([]*dfa.Engine, len(rules))}
+
+	var contents [][]byte
+	for i, r := range rules {
+		lit := longestLiteral(r.Pattern.Root)
+		if len(lit) >= 2 && !r.Pattern.CaseInsensitive {
+			contents = append(contents, lit)
+			e.contentRule = append(e.contentRule, i)
+		} else {
+			e.alwaysVerify = append(e.alwaysVerify, i)
+		}
+
+		n, err := nfa.Build([]nfa.Rule{{Pattern: r.Pattern, MatchID: int(r.ID)}})
+		if err != nil {
+			return nil, fmt.Errorf("prefilter: rule %d: %w", r.ID, err)
+		}
+		d, err := dfa.FromNFA(n, dfa.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("prefilter: rule %d: %w", r.ID, err)
+		}
+		e.verifiers[i] = dfa.NewEngine(d)
+		e.stats.VerifierQs += d.NumStates()
+	}
+	e.ac = BuildAC(contents)
+	e.numContents = len(contents)
+	e.stats.NumRules = len(rules)
+	e.stats.NumContents = len(contents)
+	e.stats.ACStates = e.ac.NumStates()
+	e.stats.BuildTime = time.Since(start)
+	return e, nil
+}
+
+// Stats returns construction statistics.
+func (e *Engine) Stats() BuildStats { return e.stats }
+
+// MemoryImageBytes returns the static image: the AC automaton plus every
+// per-rule verifier table.
+func (e *Engine) MemoryImageBytes() int {
+	total := e.ac.MemoryImageBytes()
+	for _, v := range e.verifiers {
+		total += v.DFA().MemoryImageBytes()
+	}
+	return total
+}
+
+// MatchEvent records one confirmed match.
+type MatchEvent struct {
+	RuleID int32
+	Pos    int64
+}
+
+// Run matches the rules against one complete flow payload: pass 1 runs
+// the AC pre-filter, pass 2 re-scans the payload once per candidate
+// rule. Unlike the single-pass engines, this requires the entire payload
+// to be buffered — the §II-A critique in executable form.
+func (e *Engine) Run(data []byte) []MatchEvent {
+	seen := make([]bool, e.numContents)
+	e.ac.ScanSet(data, seen)
+
+	candidates := append([]int(nil), e.alwaysVerify...)
+	for ci, hit := range seen {
+		if hit {
+			candidates = append(candidates, e.contentRule[ci])
+		}
+	}
+
+	var out []MatchEvent
+	for _, ri := range candidates {
+		r := e.verifiers[ri].NewRunner()
+		r.Feed(data, func(id int32, pos int64) {
+			out = append(out, MatchEvent{RuleID: id, Pos: pos})
+		})
+	}
+	return out
+}
+
+// FeedCount is the benchmark entry point: match one payload, return the
+// event count.
+func (e *Engine) FeedCount(data []byte) int64 {
+	return int64(len(e.Run(data)))
+}
+
+// longestLiteral extracts the longest byte string that every word of the
+// node's language must contain, walking only constructs where the
+// requirement is certain: concatenations of single-byte classes. A
+// quantifier, alternation or multi-byte class ends the current run
+// (quantified or alternative content is not *required*). This mirrors
+// how Snort's content strings relate to its PCRE options.
+func longestLiteral(n *regexparse.Node) []byte {
+	var best, cur []byte
+	flush := func() {
+		if len(cur) > len(best) {
+			best = append([]byte(nil), cur...)
+		}
+		cur = cur[:0]
+	}
+	var walk func(n *regexparse.Node)
+	walk = func(n *regexparse.Node) {
+		switch n.Op {
+		case regexparse.OpClass:
+			if c, ok := n.Class.SingleByte(); ok {
+				cur = append(cur, c)
+				return
+			}
+			flush()
+		case regexparse.OpConcat:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		case regexparse.OpRepeat:
+			// An exact repeat of a literal is required in full.
+			if n.Min == n.Max {
+				for i := 0; i < n.Min; i++ {
+					walk(n.Sub)
+				}
+				return
+			}
+			// The first Min copies are required; the tail is optional.
+			for i := 0; i < n.Min; i++ {
+				walk(n.Sub)
+			}
+			flush()
+		case regexparse.OpPlus:
+			walk(n.Sub)
+			flush()
+		default:
+			flush()
+		}
+	}
+	walk(n)
+	flush()
+	return best
+}
+
+// CandidateCount reports how many rules the pre-filter pass would send to
+// verification for this payload (content hits plus always-verify rules) —
+// the direct driver of second-pass cost.
+func (e *Engine) CandidateCount(data []byte) int {
+	seen := make([]bool, e.numContents)
+	e.ac.ScanSet(data, seen)
+	n := len(e.alwaysVerify)
+	for _, hit := range seen {
+		if hit {
+			n++
+		}
+	}
+	return n
+}

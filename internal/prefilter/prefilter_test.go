@@ -1,0 +1,210 @@
+package prefilter
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/nfa"
+	"matchfilter/internal/regexparse"
+)
+
+func mustRules(t *testing.T, sources ...string) []Rule {
+	t.Helper()
+	rules := make([]Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rules[i] = Rule{Pattern: p, ID: int32(i + 1)}
+	}
+	return rules
+}
+
+func TestACBasic(t *testing.T) {
+	ac := BuildAC([][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")})
+	var got []string
+	ac.Scan([]byte("ushers"), func(p int32, pos int) {
+		got = append(got, fmt.Sprintf("%d@%d", p, pos))
+	})
+	// Classic AC example: "she"@3, "he"@3, "hers"@5.
+	want := []string{"1@3", "0@3", "3@5"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestACScanSet(t *testing.T) {
+	ac := BuildAC([][]byte{[]byte("aa"), []byte("bb"), []byte("cc")})
+	seen := make([]bool, 3)
+	ac.ScanSet([]byte("xxaayybbzz"), seen)
+	if !seen[0] || !seen[1] || seen[2] {
+		t.Fatalf("seen: %v", seen)
+	}
+}
+
+func TestACOverlappingPatterns(t *testing.T) {
+	ac := BuildAC([][]byte{[]byte("aaa"), []byte("aa")})
+	counts := make([]int, 2)
+	ac.Scan([]byte("aaaa"), func(p int32, _ int) { counts[p]++ })
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts: %v (want aaa=2 aa=3)", counts)
+	}
+	if ac.NumStates() != 4 || ac.MemoryImageBytes() <= 0 {
+		t.Errorf("states=%d", ac.NumStates())
+	}
+}
+
+func TestLongestLiteral(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"abcdef", "abcdef"},
+		{"ab.*cdef", "cdef"},
+		{"ab?cdef", "cdef"},
+		{"(ab|cd)xyz", "xyz"},
+		{"a[0-9]bcd", "bcd"},
+		{"x{3}yz", "xxxyz"},
+		{"a+bc", "bc"}, // runs: "a", "bc"
+		{".*", ""},
+		{"[ab][cd]", ""},
+	}
+	for _, tt := range tests {
+		p, err := regexparse.Parse(tt.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(longestLiteral(p.Root)); got != tt.want {
+			t.Errorf("longestLiteral(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func groundTruth(t *testing.T, rules []Rule) *dfa.Engine {
+	t.Helper()
+	nfaRules := make([]nfa.Rule, len(rules))
+	for i, r := range rules {
+		nfaRules[i] = nfa.Rule{Pattern: r.Pattern, MatchID: int(r.ID)}
+	}
+	n, err := nfa.Build(nfaRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dfa.FromNFA(n, dfa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dfa.NewEngine(d)
+}
+
+func sortedEvents(evs []MatchEvent) []MatchEvent {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Pos != evs[j].Pos {
+			return evs[i].Pos < evs[j].Pos
+		}
+		return evs[i].RuleID < evs[j].RuleID
+	})
+	return evs
+}
+
+func assertEquivalent(t *testing.T, sources []string, inputs [][]byte) {
+	t.Helper()
+	rules := mustRules(t, sources...)
+	e, err := Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := groundTruth(t, rules)
+	for _, input := range inputs {
+		got := sortedEvents(e.Run(input))
+		var want []MatchEvent
+		for _, ev := range gt.Run(input) {
+			want = append(want, MatchEvent{RuleID: ev.ID, Pos: ev.Pos})
+		}
+		want = sortedEvents(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("rules %v input %q:\nprefilter %v\ntruth     %v", sources, input, got, want)
+		}
+	}
+}
+
+func TestEquivalenceFixed(t *testing.T) {
+	assertEquivalent(t,
+		[]string{"vi.*emacs", "bsd.*gnu", `foo[^\n]*bar`, "plain", "/short/i"},
+		[][]byte{
+			[]byte("vi then emacs, bsd then gnu"),
+			[]byte("emacs vi"),
+			[]byte("foo bar plain"),
+			[]byte("foo\nbar SHORT"),
+			[]byte(strings.Repeat("vi emacs ", 10)),
+			[]byte("nothing relevant at all"),
+		})
+}
+
+func TestEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	words := []string{"abc", "def", "gh", "xyz", "qq"}
+	for trial := 0; trial < 20; trial++ {
+		var sources []string
+		for ri := 0; ri < 1+rng.Intn(4); ri++ {
+			var sb strings.Builder
+			for si := 0; si < 1+rng.Intn(3); si++ {
+				if si > 0 {
+					sb.WriteString(".*")
+				}
+				sb.WriteString(words[rng.Intn(len(words))])
+			}
+			sources = append(sources, sb.String())
+		}
+		var inputs [][]byte
+		for ii := 0; ii < 4; ii++ {
+			var sb strings.Builder
+			for sb.Len() < 20+rng.Intn(80) {
+				if rng.Intn(3) == 0 {
+					sb.WriteString(words[rng.Intn(len(words))])
+				} else {
+					sb.WriteByte("abcdefghqxyz "[rng.Intn(13)])
+				}
+			}
+			inputs = append(inputs, []byte(sb.String()))
+		}
+		assertEquivalent(t, sources, inputs)
+	}
+}
+
+func TestPrefilterSkipsVerification(t *testing.T) {
+	// On payloads without any content hit, only always-verify rules run.
+	rules := mustRules(t, "needle.*stack", "/nocase/i")
+	e, err := Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.NumContents != 1 || st.NumRules != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(e.alwaysVerify) != 1 {
+		t.Fatalf("alwaysVerify: %v", e.alwaysVerify)
+	}
+	if got := e.Run([]byte("completely clean payload")); len(got) != 0 {
+		t.Fatalf("clean payload: %v", got)
+	}
+	if e.MemoryImageBytes() <= 0 || st.ACStates <= 1 || st.VerifierQs <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestFeedCount(t *testing.T) {
+	e, err := Compile(mustRules(t, "ab.*cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := e.FeedCount([]byte("ab cd ab cd")); c != 2 {
+		t.Fatalf("FeedCount = %d", c)
+	}
+}

@@ -1,0 +1,67 @@
+package regexparse
+
+import "testing"
+
+func TestFixedLength(t *testing.T) {
+	tests := []struct {
+		src   string
+		n     int
+		fixed bool
+	}{
+		{"", 0, true},
+		{"a", 1, true},
+		{"abc", 3, true},
+		{"a.c", 3, true},
+		{"[xy][ab]", 2, true},
+		{"ab|cd", 2, true},
+		{"ab|c", 0, false},
+		{"a?", 0, false},
+		{"a*", 0, false},
+		{"a+", 0, false},
+		{"a{3}", 3, true},
+		{"a{2,4}", 0, false},
+		{"(ab|cd){2}x", 5, true},
+		{"a(b|cd)e", 0, false},
+	}
+	for _, tt := range tests {
+		p := mustParse(t, tt.src)
+		n, fixed := p.Root.FixedLength()
+		if fixed != tt.fixed || (fixed && n != tt.n) {
+			t.Errorf("FixedLength(%q) = (%d,%v), want (%d,%v)", tt.src, n, fixed, tt.n, tt.fixed)
+		}
+	}
+}
+
+func TestCountGap(t *testing.T) {
+	tests := []struct {
+		src string
+		n   int
+		ok  bool
+	}{
+		{".{5,}", 5, true},
+		{".{1,}", 1, true},
+		{".{200,}", 200, true},
+		{".{0,}", 0, false},    // equivalent to .*, not a counting gap
+		{".{5}", 0, false},     // bounded: expanded, not decomposed
+		{".{5,9}", 0, false},   // windowed: not supported
+		{"[^a]{5,}", 0, false}, // class gap: not supported
+		{".*", 0, false},
+		{"a{5,}", 0, false},
+	}
+	for _, tt := range tests {
+		p := mustParse(t, tt.src)
+		n, ok := p.Root.CountGap()
+		if ok != tt.ok || (ok && n != tt.n) {
+			t.Errorf("CountGap(%q) = (%d,%v), want (%d,%v)", tt.src, n, ok, tt.n, tt.ok)
+		}
+	}
+}
+
+func TestFilterActionExtensionFields(t *testing.T) {
+	// The node constructors used by the splitter must produce fixed-length
+	// class nodes for gap fragments.
+	n, fixed := NewClassNode(StringClass("\n")).FixedLength()
+	if !fixed || n != 1 {
+		t.Fatalf("class node: (%d,%v)", n, fixed)
+	}
+}

@@ -1,0 +1,568 @@
+// Package splitter implements the paper's Regex Splitter (Algorithm 1):
+// it rewrites each input regex into a collection of simpler fragments plus
+// the match-filter actions that reconstruct the original matches.
+//
+// Two decomposition patterns are applied, exactly as in §IV:
+//
+//	dot-star         .*A.*B{{n}}      →  .*A{{n'}} | .*B{{n}}
+//	almost-dot-star  .*A[^X]*B{{n}}   →  .*A{{n'}} | .*[X]{{n''}} | .*B{{n}}
+//
+// with guard-bit chaining for regexes containing several separators. A
+// decomposition is applied only when the safety conditions of the paper
+// hold: no non-empty suffix of A is a prefix of B; for almost-dot-star,
+// additionally no byte of X occurs anywhere in B or in a final position of
+// A, and |X| is below the class-size threshold. Fragments of rules that
+// fail the checks are left intact — correctness is never traded for size,
+// at the cost of keeping some state explosion (§I-D).
+package splitter
+
+import (
+	"fmt"
+
+	"matchfilter/internal/filter"
+	"matchfilter/internal/regexparse"
+)
+
+// DefaultMaxClassSize is the §IV-B threshold: if the negated class X of an
+// almost-dot-star has this many bytes or more, the gap fragment .*[X]
+// would fire on too much traffic and the decomposition is skipped.
+const DefaultMaxClassSize = 128
+
+// Rule is one input regex with the id its matches must report.
+type Rule struct {
+	Pattern *regexparse.Pattern
+	RuleID  int32
+}
+
+// Fragment is one decomposed regex: a pattern for the DFA plus the
+// internal match id (an element of Di) it reports.
+type Fragment struct {
+	Pattern    *regexparse.Pattern
+	InternalID int32
+	// RuleID is the original rule this fragment came from.
+	RuleID int32
+}
+
+// Options tunes the splitter. The zero value is the paper's configuration.
+type Options struct {
+	// MaxClassSize overrides DefaultMaxClassSize when positive.
+	MaxClassSize int
+	// DisableDotStar turns off §IV-A decomposition.
+	DisableDotStar bool
+	// DisableAlmostDotStar turns off §IV-B decomposition. The HFA baseline
+	// uses this: HASIC factors only plain dot-star history.
+	DisableAlmostDotStar bool
+	// DisableSafetyChecks skips the overlap and class analyses. It exists
+	// only to demonstrate (in tests and ablations) the false matches the
+	// checks prevent — never enable it in production.
+	DisableSafetyChecks bool
+	// EnableCounting turns on the counting-condition extension the
+	// paper's §VI leaves as future work: gaps of the form .{n,} are
+	// decomposed using filter position registers, provided the trailing
+	// segment has a fixed length. Off by default so the baselines match
+	// the published construction.
+	EnableCounting bool
+	// PrependAnchors restores the paper's §IV-C anchored handling: the
+	// anchored start pattern is prepended (with a gap) to every later
+	// fragment of an anchored rule. Semantically redundant — a fragment
+	// firing in a flow whose start never matched finds its guard unset —
+	// and it measurably inflates the fragment DFA, so it is off by
+	// default; the ablation benchmarks quantify the difference.
+	PrependAnchors bool
+}
+
+// Stats counts what the splitter did, for construction reports.
+type Stats struct {
+	RulesTotal        int
+	RulesDecomposed   int
+	DotStarSplits     int
+	AlmostSplits      int
+	CountingSplits    int
+	RefusedOverlap    int
+	RefusedInfix      int
+	RefusedClassSize  int
+	RefusedXInB       int
+	RefusedXFinalInA  int
+	RefusedCascade    int // rejected because a separator to the right was refused
+	RefusedStructural int // no top-level concat / empty segment
+	RefusedVarLength  int // counting gap whose trailing segment has variable length
+}
+
+// Result is the splitter output: the fragment set for DFA construction,
+// the per-internal-id filter actions, and the memory width w.
+type Result struct {
+	Fragments []Fragment
+	Actions   []filter.Action // indexed by internal id; entry 0 reserved
+	MemBits   int
+	// NumRegs is the number of position registers the counting extension
+	// allocated (0 without EnableCounting).
+	NumRegs int
+	// ClearGroups lists, per shared gap fragment, the guard bits its
+	// match clears. Rules with an identical almost-dot-star gap class
+	// share a single [X] fragment (the §IV-C action merging), so one gap
+	// byte costs one filter event regardless of how many rules watch it.
+	ClearGroups [][]int16
+	Stats       Stats
+}
+
+// Program builds the filter program corresponding to the result.
+func (r *Result) Program() *filter.Program {
+	p := filter.NewProgramRegs(len(r.Actions), maxInt(r.MemBits, 1), r.NumRegs)
+	for _, bits := range r.ClearGroups {
+		p.AddClearGroup(bits)
+	}
+	for id := 1; id < len(r.Actions); id++ {
+		p.SetAction(int32(id), r.Actions[id])
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// separatorKind classifies a top-level concat element.
+type separatorKind int
+
+const (
+	notSeparator separatorKind = iota
+	dotStarSep
+	almostSep
+	countSep
+)
+
+// splitState carries the per-rule-set state of Algorithm 1's RegexSplit.
+type splitState struct {
+	opts    Options
+	nextID  int32
+	nextBit int16
+	nextReg int16 // position registers are 1-based; 0 is filter.NoReg
+	result  *Result
+
+	// Gap-clear registry: almost-dot-star guard bits grouped by their
+	// gap class X, emitted as one shared [X] fragment per class after
+	// all rules are split.
+	gapBits  map[regexparse.Class][]int16
+	gapOrder []regexparse.Class
+}
+
+// Split runs Algorithm 1 over the rule set.
+func Split(rules []Rule, opts Options) (*Result, error) {
+	if opts.MaxClassSize <= 0 {
+		opts.MaxClassSize = DefaultMaxClassSize
+	}
+	st := &splitState{
+		opts:   opts,
+		nextID: 1,
+		result: &Result{
+			Actions: []filter.Action{filter.DropAction}, // reserved id 0
+		},
+		gapBits: make(map[regexparse.Class][]int16),
+	}
+	st.result.Stats.RulesTotal = len(rules)
+	for _, r := range rules {
+		if r.RuleID <= 0 {
+			return nil, fmt.Errorf("splitter: rule id %d must be positive", r.RuleID)
+		}
+		if err := st.splitRule(r); err != nil {
+			return nil, fmt.Errorf("splitter: rule %d (%s): %w", r.RuleID, r.Pattern.Source, err)
+		}
+	}
+	st.emitGapFragments()
+	st.result.MemBits = int(st.nextBit)
+	st.result.NumRegs = int(st.nextReg)
+	return st.result, nil
+}
+
+// addGapClear registers bit to be cleared whenever a byte of class x
+// occurs.
+func (st *splitState) addGapClear(x regexparse.Class, bit int16) {
+	if _, seen := st.gapBits[x]; !seen {
+		st.gapOrder = append(st.gapOrder, x)
+	}
+	st.gapBits[x] = append(st.gapBits[x], bit)
+}
+
+// emitGapFragments appends one shared [X] fragment per distinct gap
+// class, in first-use order, with a merged multi-bit clear action.
+func (st *splitState) emitGapFragments() {
+	for _, x := range st.gapOrder {
+		group := int32(len(st.result.ClearGroups) + 1)
+		st.result.ClearGroups = append(st.result.ClearGroups, st.gapBits[x])
+		id := st.allocID(filter.Action{
+			Test: filter.NoBit, Set: filter.NoBit, Clear: filter.NoBit,
+			Report: filter.NoReport, ClearGroup: group,
+		})
+		st.result.Fragments = append(st.result.Fragments, Fragment{
+			Pattern: &regexparse.Pattern{
+				Root:   regexparse.NewClassNode(x),
+				Source: regexparse.NewClassNode(x).String(),
+			},
+			InternalID: id,
+		})
+	}
+}
+
+// allocID reserves the next internal match id and installs its action.
+func (st *splitState) allocID(a filter.Action) int32 {
+	id := st.nextID
+	st.nextID++
+	st.result.Actions = append(st.result.Actions, a)
+	return id
+}
+
+// allocBit reserves the next memory bit.
+func (st *splitState) allocBit() int16 {
+	b := st.nextBit
+	st.nextBit++
+	return b
+}
+
+// allocReg reserves the next position register (1-based).
+func (st *splitState) allocReg() int16 {
+	st.nextReg++
+	return st.nextReg
+}
+
+// emit appends a fragment reporting the given internal id. anchored
+// applies only to the first fragment of an anchored rule: later fragments
+// search the whole flow, and their guard bits — set only after the
+// anchored head matched — enforce the ordering.
+func (st *splitState) emit(r Rule, node *regexparse.Node, id int32, anchored bool) {
+	st.result.Fragments = append(st.result.Fragments, Fragment{
+		Pattern: &regexparse.Pattern{
+			Root:            node,
+			Anchored:        anchored,
+			CaseInsensitive: r.Pattern.CaseInsensitive,
+			Source:          r.Pattern.Source,
+		},
+		InternalID: id,
+		RuleID:     r.RuleID,
+	})
+}
+
+// splitRule decomposes one rule.
+//
+// Soundness requires more than the paper's left-to-right sketch: every
+// fragment that *tests* a guard bit must be a single gap-free segment —
+// a tester retaining an internal .* could satisfy its guard with content
+// preceding the guard segment. So acceptance runs right to left: the
+// longest suffix of separators whose pairwise safety checks all pass is
+// split; everything to the left of the first failure merges into the
+// initial (pure-setter or unsplit) fragment, where internal gaps are
+// harmless.
+func (st *splitState) splitRule(r Rule) error {
+	segments, seps, ok := st.topLevelSegments(r.Pattern)
+	if !ok || len(seps) == 0 {
+		// Nothing to decompose: a single fragment whose match confirms
+		// unconditionally.
+		if !ok {
+			st.result.Stats.RefusedStructural++
+		}
+		id := st.allocID(filter.Action{
+			Test: filter.NoBit, Set: filter.NoBit, Clear: filter.NoBit, Report: r.RuleID,
+		})
+		st.emit(r, r.Pattern.Root, id, r.Pattern.Anchored)
+		return nil
+	}
+
+	// Phase 1 (right to left): find the smallest k such that separators
+	// k..len(seps)-1 all pass their safety checks against their adjacent
+	// segments. A failure at i rejects every separator ≤ i as well,
+	// because a refused gap may only live in the leftmost fragment.
+	kinds := make([]separatorKind, len(seps))
+	xs := make([]regexparse.Class, len(seps))
+	gaps := make([]int, len(seps)) // minimum gap for countSep entries
+	k := 0
+	for i := len(seps) - 1; i >= 0; i-- {
+		kind, x, minGap := st.classify(seps[i])
+		safe := kind != notSeparator
+		if safe && kind == countSep {
+			// The gap test recovers the trailing fragment's start from
+			// its end, which needs a fixed match length. This condition
+			// is not skippable: without it the filter arithmetic is
+			// simply undefined.
+			if _, fixed := segments[i+1].FixedLength(); !fixed {
+				st.result.Stats.RefusedVarLength++
+				safe = false
+			}
+		}
+		if safe && kind != countSep && !st.opts.DisableSafetyChecks {
+			var err error
+			safe, err = st.checkSafety(kind, x, segments[i], segments[i+1])
+			if err != nil {
+				return err
+			}
+		}
+		if !safe {
+			k = i + 1
+			st.result.Stats.RefusedCascade += i
+			break
+		}
+		kinds[i], xs[i], gaps[i] = kind, x, minGap
+	}
+
+	// Phase 2 (left to right): merge segments[0..k] and seps[0..k-1] into
+	// the initial fragment, then emit one fragment per accepted split with
+	// guard-bit chaining.
+	head := make([]*regexparse.Node, 0, 2*k+1)
+	for i := 0; i < k; i++ {
+		head = append(head, segments[i].Clone(), seps[i].Clone())
+	}
+	head = append(head, segments[k].Clone())
+	pending := regexparse.NewConcat(head...)
+
+	if k == len(seps) {
+		// Every separator was refused: the rule stays whole.
+		id := st.allocID(filter.Action{
+			Test: filter.NoBit, Set: filter.NoBit, Clear: filter.NoBit, Report: r.RuleID,
+		})
+		st.emit(r, pending, id, r.Pattern.Anchored)
+		return nil
+	}
+
+	// By default only the head fragment of an anchored rule keeps the
+	// anchor; with PrependAnchors the paper's §IV-C scheme applies
+	// instead (see the Options field comment).
+	//
+	// cond is the chaining condition a fragment must satisfy before its
+	// own effect fires: a guard bit for dot-star/almost-dot-star links, a
+	// register gap test for counting links.
+	first := true
+	cond := filter.Action{Test: filter.NoBit, GapReg: filter.NoReg}
+	var anchorPrefix *regexparse.Node
+	withAnchor := func(body *regexparse.Node) (*regexparse.Node, bool) {
+		if anchorPrefix == nil {
+			return body, false
+		}
+		return regexparse.NewConcat(anchorPrefix.Clone(), regexparse.DotStar(), body), true
+	}
+
+	for i := k; i < len(seps); i++ {
+		act := filter.Action{
+			Test: cond.Test, GapReg: cond.GapReg, MinGap: cond.MinGap,
+			Set: filter.NoBit, Clear: filter.NoBit, Report: filter.NoReport,
+		}
+		body, bodyAnchored := withAnchor(pending)
+		switch kinds[i] {
+		case countSep:
+			reg := st.allocReg()
+			act.SetPos = reg
+			lenB, _ := segments[i+1].FixedLength()
+			cond = filter.Action{Test: filter.NoBit, GapReg: reg, MinGap: int32(gaps[i] + lenB)}
+			st.result.Stats.CountingSplits++
+			st.emit(r, body, st.allocID(act), bodyAnchored || (first && r.Pattern.Anchored))
+		default:
+			bit := st.allocBit()
+			act.Set = bit
+			cond = filter.Action{Test: bit, GapReg: filter.NoReg}
+			st.emit(r, body, st.allocID(act), bodyAnchored || (first && r.Pattern.Anchored))
+			if kinds[i] == almostSep {
+				// The shared gap fragment [X] (emitted once per class
+				// after all rules) clears the bit on every occurrence
+				// of a byte from X. With PrependAnchors the gap is
+				// rule-private (its pattern embeds the anchored head),
+				// matching the paper exactly.
+				if st.opts.PrependAnchors && anchorPrefix != nil {
+					clearID := st.allocID(filter.Action{
+						Test: filter.NoBit, Set: filter.NoBit, Clear: bit, Report: filter.NoReport,
+					})
+					gapBody, _ := withAnchor(regexparse.NewClassNode(xs[i]))
+					st.emit(r, gapBody, clearID, true)
+				} else {
+					st.addGapClear(xs[i], bit)
+				}
+				st.result.Stats.AlmostSplits++
+			} else {
+				st.result.Stats.DotStarSplits++
+			}
+		}
+		if first && r.Pattern.Anchored && st.opts.PrependAnchors {
+			anchorPrefix = pending
+		}
+		first = false
+		pending = segments[i+1].Clone()
+	}
+
+	finalBody, finalAnchored := withAnchor(pending)
+	finalID := st.allocID(filter.Action{
+		Test: cond.Test, GapReg: cond.GapReg, MinGap: cond.MinGap,
+		Set: filter.NoBit, Clear: filter.NoBit, Report: r.RuleID,
+	})
+	st.emit(r, finalBody, finalID, finalAnchored)
+	st.result.Stats.RulesDecomposed++
+	return nil
+}
+
+// classify decides whether a top-level node is a decomposition separator,
+// returning the negated class X for almost-dot-star and the minimum gap
+// for counting separators.
+func (st *splitState) classify(sep *regexparse.Node) (separatorKind, regexparse.Class, int) {
+	if sep.IsDotStar() {
+		if st.opts.DisableDotStar {
+			return notSeparator, regexparse.Class{}, 0
+		}
+		return dotStarSep, regexparse.Class{}, 0
+	}
+	if x, ok := sep.NegatedClassStar(); ok {
+		if st.opts.DisableAlmostDotStar {
+			return notSeparator, regexparse.Class{}, 0
+		}
+		if x.Count() >= st.opts.MaxClassSize {
+			st.result.Stats.RefusedClassSize++
+			return notSeparator, regexparse.Class{}, 0
+		}
+		return almostSep, x, 0
+	}
+	if st.opts.EnableCounting {
+		if minGap, ok := sep.CountGap(); ok {
+			return countSep, regexparse.Class{}, minGap
+		}
+	}
+	return notSeparator, regexparse.Class{}, 0
+}
+
+// checkSafety applies the decomposition-validity conditions to a
+// candidate split between adjacent segments a and b: the paper's
+// suffix/prefix condition, the infix condition its rationale implies (see
+// InfixOverlap), and for almost-dot-star the two class conditions of
+// §IV-B.
+func (st *splitState) checkSafety(kind separatorKind, x regexparse.Class, a, b *regexparse.Node) (bool, error) {
+	overlap, err := SuffixPrefixOverlap(a, b)
+	if err != nil {
+		return false, err
+	}
+	if overlap {
+		st.result.Stats.RefusedOverlap++
+		return false, nil
+	}
+	infix, err := InfixOverlap(a, b)
+	if err != nil {
+		return false, err
+	}
+	if infix {
+		st.result.Stats.RefusedInfix++
+		return false, nil
+	}
+	if kind == almostSep {
+		inB, err := classAppearsIn(x, b)
+		if err != nil {
+			return false, err
+		}
+		if inB {
+			st.result.Stats.RefusedXInB++
+			return false, nil
+		}
+		finalA, err := classInFinalPosition(x, a)
+		if err != nil {
+			return false, err
+		}
+		if finalA {
+			st.result.Stats.RefusedXFinalInA++
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// topLevelSegments decomposes the pattern's root into alternating segments
+// and separators: seg[0] sep[0] seg[1] sep[1] ... seg[n]. Leading
+// separators of unanchored patterns are redundant with the implicit .*
+// search prefix and are dropped; other degenerate shapes (top-level
+// alternation, empty segments around a separator) yield ok=false and the
+// rule is kept whole.
+func (st *splitState) topLevelSegments(p *regexparse.Pattern) (segments []*regexparse.Node, seps []*regexparse.Node, ok bool) {
+	root := p.Root
+	if root.Op != regexparse.OpConcat {
+		if st.isSeparatorShape(root) {
+			// The whole pattern is .*-like; nothing to split.
+			return nil, nil, false
+		}
+		return []*regexparse.Node{root}, nil, true
+	}
+
+	subs := root.Subs
+	// Drop redundant leading dot-star of an unanchored rule: ".*A..." and
+	// "A..." search identically. (A leading [^X]* is equally redundant:
+	// the gap may be empty — but a leading .{n,} is NOT: it demands n
+	// bytes before the next segment, so it is never trimmed.)
+	if !p.Anchored {
+		for len(subs) > 0 && isTrimmableLeading(subs[0]) {
+			subs = subs[1:]
+		}
+	}
+	if len(subs) == 0 {
+		return nil, nil, false
+	}
+
+	var cur []*regexparse.Node
+	flush := func() bool {
+		if len(cur) == 0 {
+			return false
+		}
+		segments = append(segments, regexparse.NewConcat(cur...))
+		cur = nil
+		return true
+	}
+	for _, sub := range subs {
+		if st.isSeparatorShape(sub) {
+			if !flush() {
+				// Empty segment before a separator (e.g. ".*.*A" after
+				// trimming, or an anchored "^.*A"): merge the separator
+				// into the segment instead of splitting.
+				cur = append(cur, sub)
+				continue
+			}
+			seps = append(seps, sub)
+			continue
+		}
+		cur = append(cur, sub)
+	}
+	if !flush() {
+		// Trailing separator: "A.*" — fold it back into the last segment,
+		// since an empty right side cannot be split off.
+		if len(seps) > 0 {
+			last := seps[len(seps)-1]
+			seps = seps[:len(seps)-1]
+			segments[len(segments)-1] = regexparse.NewConcat(segments[len(segments)-1], last)
+		}
+	}
+	if len(segments) != len(seps)+1 {
+		return nil, nil, false
+	}
+	return segments, seps, true
+}
+
+// isSeparatorShape reports whether a node looks like a separator, before
+// any threshold or safety filtering: .* or [^X]* always, and .{n,} when
+// the counting extension is enabled.
+func (st *splitState) isSeparatorShape(n *regexparse.Node) bool {
+	if n.IsDotStar() {
+		return true
+	}
+	if _, ok := n.NegatedClassStar(); ok {
+		return true
+	}
+	if st.opts.EnableCounting {
+		if _, ok := n.CountGap(); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isTrimmableLeading reports whether a leading top-level node of an
+// unanchored rule is redundant with the implicit search prefix: .* and
+// [^X]* gaps may be empty, so dropping them changes nothing. A counting
+// gap .{n,} is not trimmable — it demands n bytes before the next
+// segment.
+func isTrimmableLeading(n *regexparse.Node) bool {
+	if n.IsDotStar() {
+		return true
+	}
+	_, ok := n.NegatedClassStar()
+	return ok
+}

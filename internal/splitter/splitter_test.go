@@ -1,0 +1,501 @@
+package splitter
+
+import (
+	"strings"
+	"testing"
+
+	"matchfilter/internal/filter"
+	"matchfilter/internal/regexparse"
+)
+
+func mustRules(t *testing.T, sources ...string) []Rule {
+	t.Helper()
+	rules := make([]Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rules[i] = Rule{Pattern: p, RuleID: int32(i + 1)}
+	}
+	return rules
+}
+
+func split(t *testing.T, opts Options, sources ...string) *Result {
+	t.Helper()
+	res, err := Split(mustRules(t, sources...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fragmentSources renders each fragment's effective pattern for assertions.
+func fragmentSources(res *Result) []string {
+	out := make([]string, len(res.Fragments))
+	for i, f := range res.Fragments {
+		s := f.Pattern.Root.String()
+		if f.Pattern.Anchored {
+			s = "^" + s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestDotStarSplit(t *testing.T) {
+	res := split(t, Options{}, "vi.*emacs")
+	if len(res.Fragments) != 2 {
+		t.Fatalf("want 2 fragments, got %v", fragmentSources(res))
+	}
+	got := fragmentSources(res)
+	if got[0] != "vi" || got[1] != "emacs" {
+		t.Fatalf("fragments: %v", got)
+	}
+	if res.MemBits != 1 {
+		t.Fatalf("MemBits = %d, want 1", res.MemBits)
+	}
+	// Actions: id1 = Set 0 (no report), id2 = Test 0 to Match rule 1.
+	a1, a2 := res.Actions[1], res.Actions[2]
+	if a1.Set != 0 || a1.Test != filter.NoBit || a1.Report != filter.NoReport {
+		t.Errorf("setter action: %+v", a1)
+	}
+	if a2.Test != 0 || a2.Report != 1 || a2.Set != filter.NoBit {
+		t.Errorf("final action: %+v", a2)
+	}
+}
+
+func TestChainedDotStar(t *testing.T) {
+	// .*A.*B.*C uses two bits with a Test-to-Set chain (§IV-A).
+	res := split(t, Options{}, "aaa.*bbb.*ccc")
+	if len(res.Fragments) != 3 || res.MemBits != 2 {
+		t.Fatalf("fragments=%v bits=%d", fragmentSources(res), res.MemBits)
+	}
+	a1, a2, a3 := res.Actions[1], res.Actions[2], res.Actions[3]
+	if a1.Test != filter.NoBit || a1.Set != 0 {
+		t.Errorf("a1: %+v", a1)
+	}
+	if a2.Test != 0 || a2.Set != 1 || a2.Report != filter.NoReport {
+		t.Errorf("a2 should be Test 0 to Set 1: %+v", a2)
+	}
+	if a3.Test != 1 || a3.Report != 1 {
+		t.Errorf("a3 should be Test 1 to Match: %+v", a3)
+	}
+}
+
+func TestAlmostDotStarSplit(t *testing.T) {
+	res := split(t, Options{}, `abc[^\n]*xyz`)
+	got := fragmentSources(res)
+	if len(got) != 3 {
+		t.Fatalf("want 3 fragments, got %v", got)
+	}
+	// Gap fragments are shared across rules, so they come last.
+	if got[0] != "abc" || got[1] != "xyz" || got[2] != `\n` {
+		t.Fatalf("fragments: %v", got)
+	}
+	// §IV-B: 1a: Set 0, 1b: Clear 0 (as a clear group), 1: Test 0 to Match.
+	if a := res.Actions[1]; a.Set != 0 {
+		t.Errorf("1a: %+v", a)
+	}
+	if a := res.Actions[2]; a.Test != 0 || a.Report != 1 {
+		t.Errorf("1: %+v", a)
+	}
+	if a := res.Actions[3]; a.ClearGroup != 1 || a.Test != filter.NoBit {
+		t.Errorf("1b: %+v", a)
+	}
+	if len(res.ClearGroups) != 1 || len(res.ClearGroups[0]) != 1 || res.ClearGroups[0][0] != 0 {
+		t.Errorf("clear groups: %v", res.ClearGroups)
+	}
+	if res.Stats.AlmostSplits != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestSharedGapFragments(t *testing.T) {
+	// Three rules with the same gap class share one [X] fragment whose
+	// action clears all three guard bits; a distinct class gets its own.
+	res := split(t, Options{},
+		`a1[^\n]*b1`, `a2[^\n]*b2`, `a3[^\n]*b3`, `a4[^#]*b4`)
+	var gapFragments int
+	for _, f := range res.Fragments {
+		if f.RuleID == 0 {
+			gapFragments++
+		}
+	}
+	if gapFragments != 2 {
+		t.Fatalf("want 2 shared gap fragments, got %d (%v)", gapFragments, fragmentSources(res))
+	}
+	if len(res.ClearGroups) != 2 {
+		t.Fatalf("clear groups: %v", res.ClearGroups)
+	}
+	if len(res.ClearGroups[0]) != 3 || len(res.ClearGroups[1]) != 1 {
+		t.Fatalf("group membership: %v", res.ClearGroups)
+	}
+}
+
+func TestOverlapRefused(t *testing.T) {
+	// The paper's own counterexample: .*abc.*bcd must NOT decompose,
+	// because suffix "bc" of abc is a prefix of bcd.
+	res := split(t, Options{}, "abc.*bcd")
+	if len(res.Fragments) != 1 {
+		t.Fatalf("overlapping rule must stay whole, got %v", fragmentSources(res))
+	}
+	if res.Stats.RefusedOverlap != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	// The action still reports unconditionally.
+	if a := res.Actions[1]; a.Report != 1 || a.Test != filter.NoBit {
+		t.Errorf("action: %+v", a)
+	}
+}
+
+func TestOverlapFullContainment(t *testing.T) {
+	// B equal to a suffix of A is also an overlap (B = suffix of A).
+	res := split(t, Options{}, "xabc.*abc")
+	if len(res.Fragments) != 1 {
+		t.Fatalf("must refuse: %v", fragmentSources(res))
+	}
+}
+
+func TestNoOverlapSplits(t *testing.T) {
+	res := split(t, Options{}, "abc.*xyz")
+	if len(res.Fragments) != 2 {
+		t.Fatalf("disjoint strings must split: %v", fragmentSources(res))
+	}
+}
+
+func TestOverlapWithAlternation(t *testing.T) {
+	// suffix(A) meets prefix(B) through one alternation branch only.
+	res := split(t, Options{}, "(foo|bar).*(rat|dog)")
+	if len(res.Fragments) != 1 || res.Stats.RefusedOverlap != 1 {
+		t.Fatalf("suffix 'r' of bar is prefix of rat: %v", fragmentSources(res))
+	}
+	res = split(t, Options{}, "(foo|bar).*(cat|dog)")
+	if len(res.Fragments) != 2 {
+		t.Fatalf("no overlap here: %v", fragmentSources(res))
+	}
+}
+
+func TestDisableSafetyChecks(t *testing.T) {
+	res := split(t, Options{DisableSafetyChecks: true}, "abc.*bcd")
+	if len(res.Fragments) != 2 {
+		t.Fatalf("unsafe mode must split anyway: %v", fragmentSources(res))
+	}
+}
+
+func TestClassSizeThreshold(t *testing.T) {
+	// .*abc[a-f]*xyz: X = [^a-f] has 250 members ≥ 128, so §IV-B refuses.
+	res := split(t, Options{}, "abc[a-f]*xyz")
+	if len(res.Fragments) != 1 {
+		t.Fatalf("large X must be refused: %v", fragmentSources(res))
+	}
+	if res.Stats.RefusedClassSize != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	// Even with a raised threshold, X∩B ≠ ∅ here (x,y,z ∈ [^a-f]), so the
+	// safety check still refuses — the paper presents this decomposition
+	// as an improper application.
+	res = split(t, Options{MaxClassSize: 256}, "abc[a-f]*xyz")
+	if len(res.Fragments) != 1 || res.Stats.RefusedXInB != 1 {
+		t.Fatalf("raised threshold must still refuse via X-in-B: %v %+v",
+			fragmentSources(res), res.Stats)
+	}
+	// Only disabling safety checks entirely forces the (incorrect) split.
+	res = split(t, Options{MaxClassSize: 256, DisableSafetyChecks: true}, "abc[a-f]*xyz")
+	if len(res.Fragments) != 3 {
+		t.Fatalf("unsafe mode should split: %v", fragmentSources(res))
+	}
+}
+
+func TestXInBRefused(t *testing.T) {
+	// X = {:} appears inside B ("x:y"), which would clear the guard bit
+	// mid-B and suppress all matches.
+	res := split(t, Options{}, "abc[^:]*x:y")
+	if len(res.Fragments) != 1 || res.Stats.RefusedXInB != 1 {
+		t.Fatalf("X in B must refuse: %v %+v", fragmentSources(res), res.Stats)
+	}
+}
+
+func TestXFinalInARefused(t *testing.T) {
+	// A ends in a byte of X: simultaneous set+clear cannot be expressed.
+	res := split(t, Options{}, "ab:[^:]*xyz")
+	if len(res.Fragments) != 1 || res.Stats.RefusedXFinalInA != 1 {
+		t.Fatalf("X final in A must refuse: %v %+v", fragmentSources(res), res.Stats)
+	}
+	// X in a non-final position of A is fine (§IV-B allows it).
+	res = split(t, Options{}, "a:b[^:]*xyz")
+	if len(res.Fragments) != 3 {
+		t.Fatalf("X mid-A should split: %v", fragmentSources(res))
+	}
+}
+
+func TestTableIIIProgram(t *testing.T) {
+	// The R1 rule set of Table I produces a 7-fragment, 4-bit program
+	// with the same shape as Table III.
+	res := split(t, Options{}, "vi.*emacs", "bsd.*gnu", "abc.*mm?o.*xyz")
+	if len(res.Fragments) != 7 {
+		t.Fatalf("want 7 fragments, got %v", fragmentSources(res))
+	}
+	if res.MemBits != 4 {
+		t.Fatalf("want 4 memory bits as in Table III, got %d", res.MemBits)
+	}
+	prog := res.Program()
+	s := prog.String()
+	for _, want := range []string{"Set 0", "Test 0 to Match", "Set 1", "Test 1 to Match", "Set 2", "Test 2 to Set 3", "Test 3 to Match"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnchoredSplit(t *testing.T) {
+	// Only the head fragment keeps the anchor; the guard chain enforces
+	// ordering for the unanchored tail fragments (deviation from the
+	// paper's prepend scheme, see DESIGN.md).
+	res := split(t, Options{}, "^hdr.*abc.*xyz")
+	got := fragmentSources(res)
+	if len(got) != 3 {
+		t.Fatalf("fragments: %v", got)
+	}
+	if got[0] != "^hdr" {
+		t.Errorf("first fragment: %q", got[0])
+	}
+	if got[1] != "abc" || got[2] != "xyz" {
+		t.Errorf("tail fragments must be unanchored: %v", got)
+	}
+	// The actions chain through the anchored head.
+	if a := res.Actions[1]; a.Set != 0 {
+		t.Errorf("head action: %+v", a)
+	}
+	if a := res.Actions[3]; a.Test != 1 || a.Report != 1 {
+		t.Errorf("final action: %+v", a)
+	}
+}
+
+func TestLeadingDotStarDropped(t *testing.T) {
+	// Explicit leading .* on an unanchored rule is redundant.
+	res := split(t, Options{}, ".*abc.*xyz")
+	got := fragmentSources(res)
+	if len(got) != 2 || got[0] != "abc" || got[1] != "xyz" {
+		t.Fatalf("fragments: %v", got)
+	}
+}
+
+func TestTrailingSeparatorKept(t *testing.T) {
+	// "abc.*" has nothing to split off on the right.
+	res := split(t, Options{}, "abc.*")
+	got := fragmentSources(res)
+	if len(got) != 1 || got[0] != "abc.*" {
+		t.Fatalf("fragments: %v", got)
+	}
+}
+
+func TestTopLevelAlternationKeptWhole(t *testing.T) {
+	res := split(t, Options{}, "ab.*cd|ef.*gh")
+	if len(res.Fragments) != 1 {
+		t.Fatalf("top-level alternation must stay whole: %v", fragmentSources(res))
+	}
+	if res.Stats.RulesDecomposed != 0 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestDisableDotStar(t *testing.T) {
+	res := split(t, Options{DisableDotStar: true}, "abc.*xyz", `abc[^\n]*xyz`)
+	got := fragmentSources(res)
+	// Dot-star rule whole; almost-dot-star still splits.
+	if got[0] != "abc.*xyz" {
+		t.Errorf("dot-star should be kept: %v", got)
+	}
+	if res.Stats.AlmostSplits != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestDisableAlmostDotStar(t *testing.T) {
+	res := split(t, Options{DisableAlmostDotStar: true}, `abc[^\n]*xyz`, "abc.*xyz")
+	if res.Stats.AlmostSplits != 0 || res.Stats.DotStarSplits != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestGlobalIDAndBitAllocation(t *testing.T) {
+	// Ids and bits must be globally unique across rules (§III-C).
+	res := split(t, Options{}, "aa.*bb", "cc.*dd")
+	if res.MemBits != 2 {
+		t.Fatalf("MemBits = %d", res.MemBits)
+	}
+	seenIDs := map[int32]bool{}
+	for _, f := range res.Fragments {
+		if seenIDs[f.InternalID] {
+			t.Fatalf("duplicate internal id %d", f.InternalID)
+		}
+		seenIDs[f.InternalID] = true
+	}
+	if res.Actions[1].Set == res.Actions[3].Set {
+		t.Errorf("rules must use distinct bits: %+v vs %+v", res.Actions[1], res.Actions[3])
+	}
+}
+
+func TestRuleIDValidation(t *testing.T) {
+	p, err := regexparse.Parse("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Split([]Rule{{Pattern: p, RuleID: 0}}, Options{}); err == nil {
+		t.Fatal("rule id 0 must be rejected")
+	}
+}
+
+func TestMixedSeparators(t *testing.T) {
+	// dot-star then almost-dot-star in one rule: .*A.*B[^X]*C.
+	res := split(t, Options{}, `hdr.*abc[^\n]*xyz`)
+	got := fragmentSources(res)
+	if len(got) != 4 {
+		t.Fatalf("want 4 fragments (hdr, abc, \\n, xyz): %v", got)
+	}
+	// Chain: hdr sets 0; abc tests 0 sets 1; the shared \n gap fragment
+	// (emitted last) clears 1; xyz tests 1.
+	if a := res.Actions[2]; a.Test != 0 || a.Set != 1 {
+		t.Errorf("abc action: %+v", a)
+	}
+	if a := res.Actions[3]; a.Test != 1 || a.Report != 1 {
+		t.Errorf("final action: %+v", a)
+	}
+	if a := res.Actions[4]; a.ClearGroup != 1 {
+		t.Errorf("gap action: %+v", a)
+	}
+	if len(res.ClearGroups) != 1 || res.ClearGroups[0][0] != 1 {
+		t.Errorf("clear groups: %v", res.ClearGroups)
+	}
+}
+
+func TestSuffixPrefixOverlapDirect(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"abc", "bcd", true},   // "bc"
+		{"abc", "xyz", false},  //
+		{"abc", "cab", true},   // "c"
+		{"ab+", "bbq", true},   // suffix "b"/"bb" vs prefix "b"/"bb"
+		{"foo", "ofo", true},   // "o"
+		{"foo", "fgh", false},  // suffixes are foo/oo/o; prefixes f/fg/fgh
+		{"a[xy]", "yz", true},  // branchy final char
+		{"a[xy]", "qz", false}, //
+		{"(ab|cd)", "dx", true},
+		{"(ab|cd)", "ex", false},
+	}
+	for _, tc := range cases {
+		pa, err := regexparse.Parse(tc.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := regexparse.Parse(tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SuffixPrefixOverlap(pa.Root, pb.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("overlap(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSplitStatsTotals(t *testing.T) {
+	res := split(t, Options{}, "a1b.*c2d", "plainstring", "e3f.*f3g")
+	if res.Stats.RulesTotal != 3 {
+		t.Errorf("RulesTotal = %d", res.Stats.RulesTotal)
+	}
+	// Rule 1 splits; rule 2 has no separators; rule 3 overlaps (f3).
+	if res.Stats.RulesDecomposed != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestCountingSplitStructure(t *testing.T) {
+	res := split(t, Options{EnableCounting: true}, "aa.{7,}bbb")
+	got := fragmentSources(res)
+	if len(got) != 2 || got[0] != "aa" || got[1] != "bbb" {
+		t.Fatalf("fragments: %v", got)
+	}
+	if res.NumRegs != 1 || res.MemBits != 0 {
+		t.Fatalf("regs=%d bits=%d", res.NumRegs, res.MemBits)
+	}
+	// aa records its position; bbb requires gap >= 7 + len("bbb") = 10.
+	if a := res.Actions[1]; a.SetPos != 1 || a.Test != filter.NoBit {
+		t.Errorf("recorder: %+v", a)
+	}
+	if a := res.Actions[2]; a.GapReg != 1 || a.MinGap != 10 || a.Report != 1 {
+		t.Errorf("gap tester: %+v", a)
+	}
+	if res.Stats.CountingSplits != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestCountingDisabledKeepsRepeat(t *testing.T) {
+	res := split(t, Options{}, "aa.{7,}bbb")
+	if len(res.Fragments) != 1 {
+		t.Fatalf("counting off: fragments %v", fragmentSources(res))
+	}
+	if res.NumRegs != 0 {
+		t.Errorf("regs allocated with counting off")
+	}
+}
+
+func TestCountingVariableTailRefusedAtSplitter(t *testing.T) {
+	res := split(t, Options{EnableCounting: true}, "aa.{3,}b+")
+	if len(res.Fragments) != 1 || res.Stats.RefusedVarLength != 1 {
+		t.Fatalf("variable tail: %v %+v", fragmentSources(res), res.Stats)
+	}
+}
+
+func TestCountingChainActions(t *testing.T) {
+	// aa.{2,}bb.*cc: register gap guards the bit setter; bit guards the
+	// final report.
+	res := split(t, Options{EnableCounting: true}, "aa.{2,}bb.*cc")
+	if len(res.Fragments) != 3 {
+		t.Fatalf("fragments: %v", fragmentSources(res))
+	}
+	if a := res.Actions[2]; a.GapReg != 1 || a.MinGap != 4 || a.Set != 0 {
+		t.Errorf("middle action: %+v", a)
+	}
+	if a := res.Actions[3]; a.Test != 0 || a.Report != 1 {
+		t.Errorf("final action: %+v", a)
+	}
+}
+
+func TestPrependAnchorsOption(t *testing.T) {
+	// With the paper's §IV-C scheme, later fragments of an anchored rule
+	// carry the anchored head.
+	res := split(t, Options{PrependAnchors: true}, "^hdr.*abc.*xyz")
+	got := fragmentSources(res)
+	if len(got) != 3 {
+		t.Fatalf("fragments: %v", got)
+	}
+	if got[0] != "^hdr" || got[1] != "^hdr.*abc" || got[2] != "^hdr.*xyz" {
+		t.Fatalf("prepended fragments: %v", got)
+	}
+	// Almost-dot-star gaps become rule-private with the head embedded.
+	res = split(t, Options{PrependAnchors: true}, `^hdr.*abc[^\n]*xyz`)
+	got = fragmentSources(res)
+	found := false
+	for _, f := range got {
+		if f == `^hdr.*\n` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want anchored gap fragment, got %v", got)
+	}
+	// Unanchored rules are unaffected.
+	res = split(t, Options{PrependAnchors: true}, "abc.*xyz")
+	got = fragmentSources(res)
+	if got[0] != "abc" || got[1] != "xyz" {
+		t.Fatalf("unanchored fragments: %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package trace reimplements the synthetic-traffic generator of Becchi,
+// Franklin and Crowley, "A workload for evaluating deep packet inspection
+// architectures" (IISWC 2008), the tool the paper uses for its Figure 5
+// experiment ("this tool takes as input a collection of regular
+// expressions and can create trace files with varying difficulties").
+//
+// The generator walks an automaton built from the rule set. For every
+// output byte, with probability pM ("maliciousness") it emits a byte that
+// advances the automaton to a deeper state — driving traffic toward
+// matches and partial matches — and otherwise a uniformly random byte.
+// pM = 0.35/0.55/0.75/0.95 are the difficulties the paper tests, plus a
+// purely random baseline.
+package trace
+
+import (
+	"math/rand"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/regexparse"
+)
+
+// Generator produces synthetic payloads against a fixed automaton.
+// It is not safe for concurrent use; create one per goroutine.
+type Generator struct {
+	d     *dfa.DFA
+	depth []int32
+	rng   *rand.Rand
+	state uint32
+	// deeper[s] lists, for each state, the bytes whose transition strictly
+	// increases depth; precomputed so generation is O(1) per byte.
+	deeper [][]byte
+}
+
+// NewGenerator builds a generator over d, seeded deterministically.
+func NewGenerator(d *dfa.DFA, seed int64) *Generator {
+	g := &Generator{
+		d:     d,
+		depth: computeDepths(d),
+		rng:   rand.New(rand.NewSource(seed)),
+		state: d.Start(),
+	}
+	g.deeper = make([][]byte, d.NumStates())
+	for s := 0; s < d.NumStates(); s++ {
+		var ds []byte
+		for c := 0; c < regexparse.AlphabetSize; c++ {
+			if g.depth[d.Next(uint32(s), byte(c))] > g.depth[s] {
+				ds = append(ds, byte(c))
+			}
+		}
+		g.deeper[s] = ds
+	}
+	return g
+}
+
+// computeDepths returns each state's BFS distance from the start state.
+func computeDepths(d *dfa.DFA) []int32 {
+	depth := make([]int32, d.NumStates())
+	for i := range depth {
+		depth[i] = -1
+	}
+	start := d.Start()
+	depth[start] = 0
+	queue := []uint32{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for c := 0; c < regexparse.AlphabetSize; c++ {
+			t := d.Next(s, byte(c))
+			if depth[t] == -1 {
+				depth[t] = depth[s] + 1
+				queue = append(queue, t)
+			}
+		}
+	}
+	// Unreachable states (possible after minimization edge cases) sit at
+	// depth 0 so comparisons stay well-defined.
+	for i := range depth {
+		if depth[i] == -1 {
+			depth[i] = 0
+		}
+	}
+	return depth
+}
+
+// Reset rewinds the automaton walk (but not the random stream).
+func (g *Generator) Reset() { g.state = g.d.Start() }
+
+// Generate appends n bytes of difficulty-pM traffic to dst and returns
+// the extended slice. The automaton walk persists across calls so long
+// streams can be built incrementally.
+func (g *Generator) Generate(dst []byte, n int, pM float64) []byte {
+	for i := 0; i < n; i++ {
+		var c byte
+		if ds := g.deeper[g.state]; len(ds) > 0 && g.rng.Float64() < pM {
+			c = ds[g.rng.Intn(len(ds))]
+		} else {
+			c = byte(g.rng.Intn(regexparse.AlphabetSize))
+		}
+		dst = append(dst, c)
+		g.state = g.d.Next(g.state, c)
+	}
+	return dst
+}
+
+// Random returns n uniformly random bytes, the paper's non-matching
+// baseline trace.
+func Random(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(regexparse.AlphabetSize))
+	}
+	return out
+}
+
+// TextLike returns n bytes resembling protocol text: printable ASCII with
+// spaces and line breaks, optionally salted with occurrences of the given
+// words at the given per-byte probability. It is the payload model for
+// the synthesized "real-life" pcap traces of the Figure 4 experiment.
+func TextLike(n int, seed int64, words []string, wordProb float64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if len(words) > 0 && rng.Float64() < wordProb {
+			out = append(out, words[rng.Intn(len(words))]...)
+			continue
+		}
+		switch r := rng.Intn(20); {
+		case r < 2:
+			out = append(out, '\n')
+		case r < 5:
+			out = append(out, ' ')
+		case r < 8:
+			out = append(out, byte('0'+rng.Intn(10)))
+		default:
+			out = append(out, byte('a'+rng.Intn(26)))
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/regexparse"
+)
+
+func buildDFA(t *testing.T, sources ...string) *dfa.DFA {
+	t.Helper()
+	rules := make([]core.Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules[i] = core.Rule{Pattern: p, ID: int32(i + 1)}
+	}
+	m, err := core.Compile(rules, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.DFA()
+}
+
+func TestGenerateLength(t *testing.T) {
+	d := buildDFA(t, "attack.*vector")
+	g := NewGenerator(d, 1)
+	out := g.Generate(nil, 1000, 0.5)
+	if len(out) != 1000 {
+		t.Fatalf("length %d", len(out))
+	}
+	out = g.Generate(out, 500, 0.5)
+	if len(out) != 1500 {
+		t.Fatalf("appended length %d", len(out))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := buildDFA(t, "attack.*vector")
+	a := NewGenerator(d, 7).Generate(nil, 2048, 0.75)
+	b := NewGenerator(d, 7).Generate(nil, 2048, 0.75)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must give same trace")
+	}
+	c := NewGenerator(d, 8).Generate(nil, 2048, 0.75)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestMaliciousnessMonotone is the core property of the Becchi generator:
+// higher pM drives the automaton deeper and produces more match events.
+func TestMaliciousnessMonotone(t *testing.T) {
+	d := buildDFA(t, "badword.*payload", "exploit", "rootkit.*shell")
+	e := dfa.NewEngine(d)
+	const n = 200_000
+	counts := make([]int64, 0, 3)
+	for _, pM := range []float64{0.0, 0.55, 0.95} {
+		data := NewGenerator(d, 99).Generate(nil, n, pM)
+		counts = append(counts, e.NewRunner().FeedCount(data))
+	}
+	if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+		t.Errorf("match counts should grow with pM: %v", counts)
+	}
+	if counts[2] == 0 {
+		t.Error("pM=0.95 should produce matches")
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	a := Random(4096, 1)
+	b := Random(4096, 1)
+	if !bytes.Equal(a, b) {
+		t.Error("Random must be deterministic in seed")
+	}
+	if len(a) != 4096 {
+		t.Fatalf("length %d", len(a))
+	}
+	// Rough uniformity: all four quadrants of the byte space occur.
+	var quad [4]int
+	for _, c := range a {
+		quad[c>>6]++
+	}
+	for i, q := range quad {
+		if q < 512 {
+			t.Errorf("quadrant %d underrepresented: %d", i, q)
+		}
+	}
+}
+
+func TestTextLike(t *testing.T) {
+	words := []string{"alpha", "beta"}
+	data := TextLike(10_000, 3, words, 0.02)
+	if len(data) != 10_000 {
+		t.Fatalf("length %d", len(data))
+	}
+	if !bytes.Contains(data, []byte("alpha")) && !bytes.Contains(data, []byte("beta")) {
+		t.Error("salted words should appear")
+	}
+	for _, c := range data {
+		if c != '\n' && c != ' ' && !(c >= '0' && c <= '9') && !(c >= 'a' && c <= 'z') {
+			t.Fatalf("non-text byte %#x", c)
+		}
+	}
+	// Deterministic.
+	if !bytes.Equal(data, TextLike(10_000, 3, words, 0.02)) {
+		t.Error("TextLike must be deterministic in seed")
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	d := buildDFA(t, "abc.*def")
+	g := NewGenerator(d, 5)
+	g.Generate(nil, 100, 0.9)
+	g.Reset()
+	// After Reset the walk restarts from q0; generation still works.
+	out := g.Generate(nil, 100, 0.9)
+	if len(out) != 100 {
+		t.Fatalf("length %d", len(out))
+	}
+}
