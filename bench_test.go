@@ -308,6 +308,25 @@ func BenchmarkScanAPI(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallel measures one shared Engine scanned by
+// GOMAXPROCS goroutines concurrently, each owning a private Stream — the
+// §III-B flow-multiplexing model (immutable automaton, per-flow (q, m)
+// context) that internal/engine's shards rely on. Compare ns/op against
+// BenchmarkScanAPI: per-goroutine throughput should hold steady as
+// parallelism rises on multi-core hosts.
+func BenchmarkEngineParallel(b *testing.B) {
+	e := MustCompile([]string{"attack.*payload", `/^get[^\n]*passwd/i`, "xmrig"})
+	data := trace.TextLike(64<<10, 4, []string{"attack", "payload", "xmrig"}, 0.003)
+	b.SetBytes(int64(len(data)))
+	b.RunParallel(func(pb *testing.PB) {
+		s := e.NewStream(nil)
+		for pb.Next() {
+			s.Reset()
+			_, _ = s.Write(data)
+		}
+	})
+}
+
 // BenchmarkAblationCountingGap compares the .{n,} counting-gap extension
 // (DESIGN.md §8) against bounded-repeat expansion: same semantics, two
 // implementations. The imageBytes metric shows the state cost the

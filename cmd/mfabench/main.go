@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,11 +30,12 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, engine, all")
 	setsFlag := flag.String("sets", "", "comma-separated pattern sets (default: all seven)")
-	scale := flag.Float64("scale", 0.25, "trace size scale for fig4")
+	scale := flag.Float64("scale", 0.25, "trace size scale for fig4 and engine")
 	bytesN := flag.Int("bytes", 1<<20, "stream length per measurement for fig5")
 	seed := flag.Int64("seed", 1, "seed for fig5 traffic")
+	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the engine experiment")
 	flag.Parse()
 
 	var sets []string
@@ -65,7 +67,7 @@ func run() error {
 	}
 
 	needsBuild := wants("table5") || wants("fig2") || wants("fig3") ||
-		wants("fig4") || wants("fig5") || wants("active")
+		wants("fig4") || wants("fig5") || wants("active") || wants("engine")
 	if !needsBuild {
 		return nil
 	}
@@ -112,8 +114,30 @@ func run() error {
 		if _, err := bench.ActiveStates(out, engines, *bytesN/4, *seed); err != nil {
 			return err
 		}
+		fmt.Fprintln(out)
+	}
+	if wants("engine") {
+		counts, err := parseShards(*shardsFlag)
+		if err != nil {
+			return err
+		}
+		if _, err := bench.EngineScaling(out, engines, bench.EngineTrace(*scale), counts); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+func parseShards(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -shards value %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func setsOrAll(sets []string) string {

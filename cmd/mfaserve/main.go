@@ -1,0 +1,238 @@
+// Command mfaserve is the flow-scan daemon: it loads a compiled engine
+// image (mfabuild -o) or compiles patterns, then scans pcap input —  a
+// capture file or a stream on stdin — through the sharded concurrent
+// engine (internal/engine), printing confirmed matches as they happen and
+// a stats report at the end. It is the serving shape of the paper's
+// §III-B claim: per-flow state is a tiny (q, m) context, so one process
+// can track hundreds of thousands of concurrent flows across shards.
+//
+// Usage:
+//
+//	mfabuild -set C8 -o c8.eng
+//	mfaserve -engine c8.eng -pcap trace.pcap -shards 8
+//	tracegen -set S24 -out - | mfaserve -set S24 -pcap - -stats 2s
+//	mfaserve -rules rules.txt -pcap - -shards 4 -max-flows 100000 -idle 500000 -drop
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/engine"
+	"matchfilter/internal/flow"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/regexparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mfaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
+	rulesFile := flag.String("rules", "", "file with one pattern per line (# starts a comment)")
+	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
+	pcapPath := flag.String("pcap", "-", "pcap input to scan (- for stdin)")
+	shards := flag.Int("shards", 0, "shard goroutines (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 4096, "per-shard queue depth (segments)")
+	drop := flag.Bool("drop", false, "drop segments when a shard queue is full instead of applying backpressure")
+	maxFlows := flag.Int("max-flows", 0, "per-shard flow-table cap, LRU-evicted (0 = unbounded)")
+	idle := flag.Int64("idle", 0, "evict flows idle for this many segments (0 = never)")
+	statsEvery := flag.Duration("stats", 0, "print a stats line to stderr at this interval (0 = off)")
+	quiet := flag.Bool("q", false, "suppress per-match lines, print only the report")
+	flag.Parse()
+
+	m, sources, err := loadEngine(*engineFile, *set, *rulesFile)
+	if err != nil {
+		return err
+	}
+
+	in, err := openInput(*pcapPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	// Matches arrive concurrently from shard goroutines; serialize the
+	// report lines.
+	var mu sync.Mutex
+	onMatch := func(mt engine.Match) {
+		if *quiet {
+			return
+		}
+		mu.Lock()
+		fmt.Printf("%s offset %d: rule %d (%s)\n", mt.Flow, mt.Pos, mt.ID, sources[mt.ID-1])
+		mu.Unlock()
+	}
+
+	cfg := engine.Config{
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		DropWhenFull: *drop,
+		Flow:         flow.Config{MaxFlows: *maxFlows},
+		IdleAfter:    *idle,
+	}
+	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go progressLoop(e, *statsEvery, stop)
+	}
+
+	start := time.Now()
+	scanErr := feedPcap(e, in)
+	if err := e.Close(); err != nil {
+		return err
+	}
+	close(stop)
+	elapsed := time.Since(start)
+
+	report(os.Stdout, e.Stats(), elapsed)
+	return scanErr
+}
+
+// feedPcap pumps every frame of the capture into the engine.
+func feedPcap(e *engine.Engine, in io.Reader) error {
+	pr, err := pcap.NewReader(bufio.NewReaderSize(in, 1<<20))
+	if err != nil {
+		return err
+	}
+	for {
+		pkt, err := pr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.HandleFrame(pkt.Data); err != nil {
+			return err
+		}
+	}
+}
+
+// progressLoop prints one stats line per tick until stop closes.
+func progressLoop(e *engine.Engine, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			st := e.Stats()
+			fmt.Fprintf(os.Stderr,
+				"mfaserve: pkts=%d bytes=%d flows=%d/%d matches=%d queued=%d drops=%d\n",
+				st.Packets, st.PayloadBytes, st.FlowsLive, st.FlowsTotal,
+				st.Matches, st.QueueDepth, st.QueueDrops)
+		}
+	}
+}
+
+// report renders the end-of-run stats block.
+func report(w io.Writer, st engine.Stats, elapsed time.Duration) {
+	mbps := float64(st.PayloadBytes) / (1 << 20) / elapsed.Seconds()
+	fmt.Fprintf(w, "scanned %d TCP packets, %d payload bytes in %v (%.1f MB/s, %d shards)\n",
+		st.Packets, st.PayloadBytes, elapsed.Round(time.Millisecond), mbps, st.Shards)
+	fmt.Fprintf(w, "flows: %d live, %d total, evicted %d (cap) + %d (idle), runners recycled: %d\n",
+		st.FlowsLive, st.FlowsTotal, st.EvictedCap, st.EvictedIdle, st.RunnersReused)
+	fmt.Fprintf(w, "out-of-order segments: %d, dropped: %d, non-TCP frames: %d, queue drops: %d\n",
+		st.OutOfOrder, st.DroppedSegs, st.SkippedFrames, st.QueueDrops)
+	fmt.Fprintf(w, "confirmed matches: %d\n", st.Matches)
+	fmt.Fprintf(w, "per-shard (packets/matches):")
+	for i := range st.ShardPackets {
+		fmt.Fprintf(w, " s%d=%d/%d", i, st.ShardPackets[i], st.ShardMatches[i])
+	}
+	fmt.Fprintln(w)
+}
+
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// loadEngine resolves the three pattern sources: a compiled image, a
+// built-in set, or a rules file.
+func loadEngine(engineFile, set, rulesFile string) (*core.MFA, []string, error) {
+	if engineFile != "" {
+		if set != "" || rulesFile != "" {
+			return nil, nil, fmt.Errorf("-engine replaces -set/-rules")
+		}
+		f, err := os.Open(engineFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<20)
+		sources, err := core.ReadStrings(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.ReadMFA(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, sources, nil
+	}
+
+	var rules []core.Rule
+	var sources []string
+	switch {
+	case set != "" && rulesFile != "":
+		return nil, nil, fmt.Errorf("use either -set or -rules, not both")
+	case set != "":
+		prules, err := patterns.Load(set)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range prules {
+			rules = append(rules, core.Rule{Pattern: r.Pattern, ID: r.ID})
+			sources = append(sources, r.Source)
+		}
+	case rulesFile != "":
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			p, err := regexparse.ParsePCRE(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", rulesFile, err)
+			}
+			rules = append(rules, core.Rule{Pattern: p, ID: int32(len(rules) + 1)})
+			sources = append(sources, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		if len(rules) == 0 {
+			return nil, nil, fmt.Errorf("%s: no patterns", rulesFile)
+		}
+	default:
+		return nil, nil, fmt.Errorf("one of -engine, -set or -rules is required")
+	}
+	m, err := core.Compile(rules, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, sources, nil
+}

@@ -1,0 +1,108 @@
+package matchfilter
+
+// Concurrency tests backing the Engine documentation's "safe for
+// concurrent use" claim: one immutable compiled Engine shared by many
+// goroutines, each with private Streams, must produce exactly the
+// matches of a sequential scan. Run with -race (CI does).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"matchfilter/internal/trace"
+)
+
+// TestEngineConcurrentStreams shares one Engine across many goroutines,
+// each repeatedly scanning its own inputs through fresh and Reset
+// Streams, and compares every result to the sequential Scan.
+func TestEngineConcurrentStreams(t *testing.T) {
+	e := MustCompile([]string{
+		"attack.*payload",
+		`/^get[^\n]*passwd/i`,
+		"evil[^;]*flag",
+		"xmrig",
+	})
+
+	const goroutines = 8
+	const inputsPerG = 6
+
+	// Pre-build every goroutine's inputs and their sequential answers.
+	inputs := make([][][]byte, goroutines)
+	want := make([][][]Match, goroutines)
+	words := []string{"attack", "payload", "get", "passwd", "evil", "flag", "xmrig"}
+	for g := 0; g < goroutines; g++ {
+		inputs[g] = make([][]byte, inputsPerG)
+		want[g] = make([][]Match, inputsPerG)
+		for i := 0; i < inputsPerG; i++ {
+			data := trace.TextLike(16<<10, int64(g*1000+i), words, 0.01)
+			inputs[g][i] = data
+			want[g][i] = e.Scan(data)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var got []Match
+			s := e.NewStream(func(m Match) { got = append(got, m) })
+			for i, data := range inputs[g] {
+				got = got[:0]
+				s.Reset()
+				// Split each write in two to cross a boundary mid-flow.
+				half := len(data) / 2
+				_, _ = s.Write(data[:half])
+				_, _ = s.Write(data[half:])
+				if err := sameMatches(want[g][i], got); err != nil {
+					errs <- fmt.Errorf("goroutine %d input %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func sameMatches(want, got []Match) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("match %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// TestEngineConcurrentScan exercises the one-shot Scan path (which
+// allocates a Stream internally) from many goroutines at once.
+func TestEngineConcurrentScan(t *testing.T) {
+	e := MustCompile([]string{"aa.*zz", "needle"})
+	data := trace.TextLike(8<<10, 7, []string{"aa", "zz", "needle"}, 0.02)
+	want := e.Scan(data)
+	if len(want) == 0 {
+		t.Fatal("vacuous input: no matches")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := sameMatches(want, e.Scan(data)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

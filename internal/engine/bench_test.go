@@ -1,0 +1,112 @@
+package engine
+
+// Shard-scaling benchmarks. The dispatch work (decode + hash + channel
+// send) is measured apart from the scan work so the scaling headroom is
+// visible: on a multi-core host the scan parallelizes across shards
+// while dispatch stays a single producer. Numbers are recorded in
+// EXPERIMENTS.md ("Shard scaling").
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+)
+
+// benchCapture builds a 32-flow interleaved capture and pre-decodes its
+// segments so the benchmark loop measures dispatch + scan, not pcap
+// parsing.
+func benchCapture(b *testing.B) (segs []pcap.Segment, payload int64) {
+	b.Helper()
+	capture := interleavedCapture(b, 32, 32<<10,
+		[]string{"attack", "payload", "evil", "string", "xmrig"})
+	pr, err := pcap.NewReader(bytes.NewReader(capture))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		seg, err := pcap.DecodeTCP(pkt.Data)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, seg)
+		payload += int64(len(seg.Payload))
+	}
+	return segs, payload
+}
+
+// BenchmarkShardScaling scans the same pre-decoded capture through 1, 2,
+// 4 and 8 shards. Throughput (MB/s column) versus the shards=1 row is
+// the scaling curve; on a single-core host expect ≈1× with a small
+// channel-handoff tax, on N cores up to ≈N×.
+func BenchmarkShardScaling(b *testing.B) {
+	m := buildMFA(b, "attack.*payload", "evil[^\n]*string", "xmrig")
+	segs, payload := benchCapture(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(payload)
+			for i := 0; i < b.N; i++ {
+				e := New(Config{Shards: shards, QueueDepth: 4096},
+					func() flow.Runner { return m.NewRunner() }, nil)
+				for _, seg := range segs {
+					if err := e.HandleSegment(seg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialBaseline is the flow.Assembler equivalent of the
+// shards=1 row, without any queueing: the cost floor the engine's
+// dispatch layer is measured against.
+func BenchmarkSequentialBaseline(b *testing.B) {
+	m := buildMFA(b, "attack.*payload", "evil[^\n]*string", "xmrig")
+	segs, payload := benchCapture(b)
+	b.SetBytes(payload)
+	for i := 0; i < b.N; i++ {
+		a := flow.NewAssembler(flow.Config{}, func() flow.Runner { return m.NewRunner() }, nil)
+		for _, seg := range segs {
+			a.HandleSegment(seg)
+		}
+	}
+}
+
+// BenchmarkDispatchOnly isolates the engine's routing overhead: hash +
+// bounded-channel send to a shard that discards instantly. It bounds the
+// per-segment tax the sharding layer adds over the sequential scanner.
+func BenchmarkDispatchOnly(b *testing.B) {
+	segs, payload := benchCapture(b)
+	e := New(Config{Shards: 4, QueueDepth: 4096},
+		func() flow.Runner { return nopRunner{} }, nil)
+	defer e.Close()
+	b.SetBytes(payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, seg := range segs {
+			if err := e.HandleSegment(seg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+type nopRunner struct{}
+
+func (nopRunner) Feed(data []byte, onMatch func(int32, int64)) {}
+func (nopRunner) Reset()                                       {}

@@ -1,0 +1,319 @@
+// Package engine is the sharded, concurrent session engine: the scaling
+// layer the paper's §III-B flow model makes possible. Because a flow's
+// entire matching context is the tiny (q, m) pair, flows are independent
+// and embarrassingly parallel — the engine demultiplexes TCP segments by
+// hash(FlowKey) onto N shard goroutines, each owning a private
+// flow.Assembler (flow table, runner pool, reassembly buffers) that it
+// alone touches. The hot path takes no locks: dispatch is one hash and
+// one bounded-channel send; everything after that is shard-local.
+//
+// Guarantees:
+//
+//   - Flow affinity: every segment of a flow reaches the same shard, so
+//     each flow sees its bytes strictly in capture order and produces
+//     exactly the matches the sequential scanner would. Only the global
+//     interleaving of *different* flows' matches is nondeterministic.
+//   - Bounded memory: per-shard queues are bounded (block or drop, by
+//     config), flow tables are capped with LRU eviction, and idle flows
+//     are swept on a logical clock.
+//   - Deterministic shutdown: Close drains every queued segment before
+//     returning, and Stats after Close is exact.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+)
+
+// Match is one confirmed match attributed to a flow (alias of
+// flow.Match so callers can share handlers between the sequential and
+// sharded paths).
+type Match = flow.Match
+
+// ErrClosed is returned by HandleFrame after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config sizes the engine.
+type Config struct {
+	// Shards is the number of shard goroutines (and private flow
+	// tables). 0 means GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds each shard's input queue (segments). 0 means 1024.
+	QueueDepth int
+	// DropWhenFull selects the overload policy: false (default) applies
+	// backpressure — dispatch blocks until the shard drains; true drops
+	// the segment and counts it in Stats.QueueDrops. Inline scanners
+	// want backpressure; live-capture front-ends usually prefer drops.
+	DropWhenFull bool
+	// Flow configures each shard's reassembler. Flow.MaxFlows is a
+	// per-shard cap, so the engine tracks at most Shards×MaxFlows flows.
+	Flow flow.Config
+	// IdleAfter evicts flows whose last segment is more than this many
+	// segments in the past on the owning shard's clock. 0 disables
+	// idle sweeping.
+	IdleAfter int64
+	// SweepEvery is how often (in segments) a shard runs its idle sweep.
+	// 0 means 4096.
+	SweepEvery int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 4096
+	}
+}
+
+// Engine fans TCP segments out to per-shard flow scanners.
+//
+// HandleFrame/HandleSegment may be called from many goroutines
+// concurrently; the match handler is invoked from shard goroutines (also
+// concurrently) and must be safe for that. Close must not race with
+// in-flight Handle calls — stop producers first.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	closed     atomic.Bool
+	skipped    atomic.Int64 // non-TCP frames
+	queueDrops atomic.Int64 // segments dropped by DropWhenFull
+}
+
+// New starts an engine with Shards goroutines. newRunner must be safe
+// for concurrent use (engine compilations in this repository are; the
+// per-flow state they return need not be). onMatch may be nil.
+func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine {
+	cfg.setDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		s := &shard{in: make(chan pcap.Segment, cfg.QueueDepth)}
+		shardMatch := func(m Match) {
+			s.matches.Add(1)
+			if onMatch != nil {
+				onMatch(m)
+			}
+		}
+		s.asm = flow.NewAssembler(cfg.Flow, newRunner, shardMatch)
+		s.publish()
+		e.shards[i] = s
+		e.wg.Add(1)
+		go s.run(&e.wg, cfg.IdleAfter, cfg.SweepEvery)
+	}
+	return e
+}
+
+// HandleFrame decodes one Ethernet frame and routes its segment to the
+// owning shard. Non-TCP frames are counted and skipped; decode errors on
+// TCP frames are returned. The frame's payload bytes are referenced until
+// the shard has scanned them, so callers must not reuse the buffer
+// (pcap.Reader allocates per packet and is safe).
+func (e *Engine) HandleFrame(frame []byte) error {
+	seg, err := pcap.DecodeTCP(frame)
+	if err != nil {
+		if errors.Is(err, pcap.ErrNotTCP) {
+			e.skipped.Add(1)
+			return nil
+		}
+		return err
+	}
+	return e.HandleSegment(seg)
+}
+
+// HandleSegment routes one decoded segment to its flow's shard.
+func (e *Engine) HandleSegment(seg pcap.Segment) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	s := e.shards[shardIndex(seg.Key, len(e.shards))]
+	if e.cfg.DropWhenFull {
+		select {
+		case s.in <- seg:
+		default:
+			e.queueDrops.Add(1)
+		}
+		return nil
+	}
+	s.in <- seg
+	return nil
+}
+
+// Close stops intake, drains every shard's queue, and waits for the
+// shard goroutines to exit. After Close, Stats is exact and Handle calls
+// return ErrClosed. Close is idempotent but must not be called
+// concurrently with Handle calls.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// shardIndex hashes a flow key onto a shard. All segments of a flow
+// share a key, hence a shard — the flow-affinity guarantee. FNV-1a alone
+// is not enough here: real traffic has sequential client addresses and
+// ports whose parities correlate, which collapses `fnv % n` onto a few
+// shards — so the hash is finished with a 64-bit avalanche (splitmix64's
+// finalizer) that diffuses every input bit into the low bits the modulo
+// looks at.
+func shardIndex(k pcap.FlowKey, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range [3]uint32{
+		k.SrcIP, k.DstIP, uint32(k.SrcPort)<<16 | uint32(k.DstPort),
+	} {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(w >> shift))
+			h *= prime64
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
+// shard is one goroutine's private scanning lane.
+type shard struct {
+	in  chan pcap.Segment
+	asm *flow.Assembler
+
+	// matches is updated on every confirmed match; snap mirrors the
+	// assembler's counters every statsEvery segments and at exit, so
+	// outside observers never touch the assembler itself.
+	matches atomic.Int64
+	snap    atomic.Pointer[flow.Stats]
+}
+
+// statsEvery is how often (in segments) a shard refreshes its published
+// stats snapshot. Snapshots are therefore at most this stale while the
+// engine runs; Close publishes a final exact snapshot.
+const statsEvery = 64
+
+func (s *shard) publish() {
+	st := s.asm.Stats()
+	s.snap.Store(&st)
+}
+
+func (s *shard) run(wg *sync.WaitGroup, idleAfter, sweepEvery int64) {
+	defer wg.Done()
+	var n int64
+	for seg := range s.in {
+		s.asm.HandleSegment(seg)
+		n++
+		if idleAfter > 0 && n%sweepEvery == 0 {
+			s.asm.EvictIdle(idleAfter)
+		}
+		if n%statsEvery == 0 {
+			s.publish()
+		}
+	}
+	s.publish()
+}
+
+// Stats is a point-in-time engine snapshot, aggregated over shards. While
+// the engine runs, per-shard counters may lag the hot path by a few dozen
+// segments; after Close the snapshot is exact.
+type Stats struct {
+	Shards int
+	// Aggregates of the per-shard reassembly counters (see flow.Stats).
+	Packets       int64
+	PayloadBytes  int64
+	FlowsLive     int64
+	FlowsTotal    int64
+	OutOfOrder    int64
+	DroppedSegs   int64
+	EvictedCap    int64
+	EvictedIdle   int64
+	RunnersReused int64
+	// Matches is the number of confirmed matches delivered (exact at all
+	// times, unlike the mirrored reassembly counters).
+	Matches int64
+	// SkippedFrames counts non-TCP frames seen by HandleFrame.
+	SkippedFrames int64
+	// QueueDrops counts segments dropped under the DropWhenFull policy.
+	QueueDrops int64
+	// QueueDepth is the instantaneous total of queued segments.
+	QueueDepth int64
+	// ShardMatches and ShardPackets expose the per-shard balance.
+	ShardMatches []int64
+	ShardPackets []int64
+}
+
+// Stats aggregates the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:        len(e.shards),
+		SkippedFrames: e.skipped.Load(),
+		QueueDrops:    e.queueDrops.Load(),
+		ShardMatches:  make([]int64, len(e.shards)),
+		ShardPackets:  make([]int64, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		a := s.snap.Load()
+		st.Packets += a.Packets
+		st.PayloadBytes += a.PayloadBytes
+		st.FlowsLive += int64(a.Flows)
+		st.FlowsTotal += a.FlowsTotal
+		st.OutOfOrder += a.OutOfOrder
+		st.DroppedSegs += a.DroppedSegs
+		st.EvictedCap += a.EvictedCap
+		st.EvictedIdle += a.EvictedIdle
+		st.RunnersReused += a.RunnersReused
+		st.QueueDepth += int64(len(s.in))
+		st.ShardMatches[i] = s.matches.Load()
+		st.ShardPackets[i] = a.Packets
+		st.Matches += st.ShardMatches[i]
+	}
+	return st
+}
+
+// ScanPcap reads a full capture from r and scans it through a fresh
+// engine, closing it when the capture ends. It is the concurrent
+// counterpart of flow.ScanPcap: same per-flow match sets, N-way
+// parallel. onMatch is called from shard goroutines.
+func ScanPcap(r io.Reader, cfg Config, newRunner func() flow.Runner, onMatch func(Match)) (Stats, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return Stats{}, err
+	}
+	e := New(cfg, newRunner, onMatch)
+	defer e.Close()
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			e.Close()
+			return e.Stats(), fmt.Errorf("engine: %w", err)
+		}
+		if err := e.HandleFrame(pkt.Data); err != nil {
+			e.Close()
+			return e.Stats(), fmt.Errorf("engine: %w", err)
+		}
+	}
+	e.Close()
+	return e.Stats(), nil
+}

@@ -3,12 +3,19 @@
 // "multiplexed flows" path of the paper: the scanner keeps one small
 // context per flow — for the MFA, the (q, m) pair — and packets of many
 // interleaved connections advance their own flow's context independently.
+//
+// An Assembler is deliberately single-threaded: it owns a private flow
+// table with no locks anywhere on its hot path. Concurrency is layered on
+// top by internal/engine, which runs one Assembler per shard and routes
+// every segment of a flow to the same shard.
 package flow
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"matchfilter/internal/pcap"
 )
@@ -34,36 +41,52 @@ type Config struct {
 	// MaxBufferedSegments caps out-of-order segments held per flow;
 	// overflow drops the oldest. 0 means 64.
 	MaxBufferedSegments int
-	// MaxFlows caps tracked flows; 0 means unlimited.
+	// MaxFlows caps tracked flows; 0 means unlimited. When the table is
+	// full, a new flow evicts the least-recently-seen one (counted in
+	// Stats.EvictedCap) rather than being silently rejected.
 	MaxFlows int
 }
 
 // Assembler demultiplexes TCP segments into flows, restores byte order,
 // and feeds each flow's stream to a Runner obtained from the factory.
+// Torn-down flows return their runner to a pool, so long-running
+// assemblers allocate one runner per *concurrent* flow, not per
+// connection. An Assembler is not safe for concurrent use.
 type Assembler struct {
 	cfg       Config
 	newRunner func() Runner
 	flows     map[pcap.FlowKey]*flowCtx
+	lru       *list.List // *flowCtx; front = most recently seen
+	pool      sync.Pool  // recycled Runners, already Reset
 	onMatch   func(Match)
+	now       int64 // logical clock: segments handled so far
 	// Stats.
 	packets       int64
 	payloadBytes  int64
 	outOfOrder    int64
 	droppedSegs   int64
 	skippedFrames int64
+	flowsTotal    int64
+	evictedCap    int64
+	evictedIdle   int64
+	runnersReused int64
 }
 
 type flowCtx struct {
-	runner  Runner
-	nextSeq uint32
-	started bool
+	key      pcap.FlowKey
+	runner   Runner
+	nextSeq  uint32
+	started  bool
+	lastSeen int64 // assembler clock at the flow's latest segment
+	elem     *list.Element
 	// pending holds out-of-order segments keyed by sequence number.
 	pending map[uint32][]byte
 	order   []uint32 // insertion order, for bounded eviction
 }
 
-// NewAssembler creates an assembler. newRunner is called once per new
-// flow; onMatch (may be nil) receives every confirmed match.
+// NewAssembler creates an assembler. newRunner supplies per-flow contexts
+// (recycled through an internal pool across flows); onMatch (may be nil)
+// receives every confirmed match.
 func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Assembler {
 	if cfg.MaxBufferedSegments <= 0 {
 		cfg.MaxBufferedSegments = 64
@@ -72,6 +95,7 @@ func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Ass
 		cfg:       cfg,
 		newRunner: newRunner,
 		flows:     make(map[pcap.FlowKey]*flowCtx),
+		lru:       list.New(),
 		onMatch:   onMatch,
 	}
 }
@@ -84,6 +108,16 @@ type Stats struct {
 	OutOfOrder    int64
 	DroppedSegs   int64
 	SkippedFrames int64
+	// FlowsTotal counts every flow ever created (live + finished).
+	FlowsTotal int64
+	// EvictedCap counts flows displaced by the MaxFlows cap — the flows
+	// that before this counter existed were silently dropped.
+	EvictedCap int64
+	// EvictedIdle counts flows reclaimed by EvictIdle sweeps.
+	EvictedIdle int64
+	// RunnersReused counts new flows served from the runner pool instead
+	// of a fresh newRunner allocation.
+	RunnersReused int64
 }
 
 // Stats returns the counters accumulated so far.
@@ -95,6 +129,10 @@ func (a *Assembler) Stats() Stats {
 		OutOfOrder:    a.outOfOrder,
 		DroppedSegs:   a.droppedSegs,
 		SkippedFrames: a.skippedFrames,
+		FlowsTotal:    a.flowsTotal,
+		EvictedCap:    a.evictedCap,
+		EvictedIdle:   a.evictedIdle,
+		RunnersReused: a.runnersReused,
 	}
 }
 
@@ -110,23 +148,33 @@ func (a *Assembler) HandleFrame(frame []byte) error {
 		}
 		return err
 	}
-	a.packets++
-	a.handleSegment(seg)
+	a.HandleSegment(seg)
 	return nil
 }
 
-func (a *Assembler) handleSegment(seg pcap.Segment) {
+// HandleSegment advances one decoded TCP segment's flow. It is exported
+// so callers that decode frames themselves — internal/engine's shards —
+// can drive reassembly directly.
+func (a *Assembler) HandleSegment(seg pcap.Segment) {
+	a.packets++
+	a.now++
 	ctx, ok := a.flows[seg.Key]
 	if !ok {
 		if a.cfg.MaxFlows > 0 && len(a.flows) >= a.cfg.MaxFlows {
-			return
+			a.evictOldest()
 		}
 		ctx = &flowCtx{
-			runner:  a.newRunner(),
+			key:     seg.Key,
+			runner:  a.getRunner(),
 			pending: make(map[uint32][]byte),
 		}
+		ctx.elem = a.lru.PushFront(ctx)
 		a.flows[seg.Key] = ctx
+		a.flowsTotal++
+	} else {
+		a.lru.MoveToFront(ctx.elem)
 	}
+	ctx.lastSeen = a.now
 
 	if seg.Flags&pcap.FlagSYN != 0 {
 		ctx.nextSeq = seg.Seq + 1
@@ -143,10 +191,63 @@ func (a *Assembler) handleSegment(seg pcap.Segment) {
 		a.deliver(seg.Key, ctx, seg.Seq, seg.Payload)
 	}
 	if seg.Flags&(pcap.FlagFIN|pcap.FlagRST) != 0 {
-		// Flow teardown: drop the context. (Its runner state is no longer
-		// needed; a production system would recycle it through a pool.)
-		delete(a.flows, seg.Key)
+		// Flow teardown: the context is dropped and its runner recycled
+		// through the pool for the next flow.
+		a.removeFlow(ctx)
 	}
+}
+
+// getRunner takes a recycled runner from the pool or allocates a fresh
+// one. Pooled runners were Reset when put, so they are start-of-flow.
+func (a *Assembler) getRunner() Runner {
+	if r, ok := a.pool.Get().(Runner); ok {
+		a.runnersReused++
+		return r
+	}
+	return a.newRunner()
+}
+
+// removeFlow forgets a flow and recycles its runner.
+func (a *Assembler) removeFlow(ctx *flowCtx) {
+	delete(a.flows, ctx.key)
+	a.lru.Remove(ctx.elem)
+	ctx.runner.Reset()
+	a.pool.Put(ctx.runner)
+	ctx.runner = nil
+}
+
+// evictOldest reclaims the least-recently-seen flow to make room under
+// MaxFlows.
+func (a *Assembler) evictOldest() {
+	back := a.lru.Back()
+	if back == nil {
+		return
+	}
+	a.removeFlow(back.Value.(*flowCtx))
+	a.evictedCap++
+}
+
+// EvictIdle reclaims every flow whose last segment is more than maxAge
+// segments in the past (on the assembler's logical clock, which ticks
+// once per HandleSegment). It returns the number of flows evicted.
+// Periodic sweeps keep the table bounded when connections vanish without
+// FIN/RST — the common case for scanned or half-open traffic.
+func (a *Assembler) EvictIdle(maxAge int64) int {
+	n := 0
+	for {
+		back := a.lru.Back()
+		if back == nil {
+			break
+		}
+		ctx := back.Value.(*flowCtx)
+		if a.now-ctx.lastSeen <= maxAge {
+			break
+		}
+		a.removeFlow(ctx)
+		a.evictedIdle++
+		n++
+	}
+	return n
 }
 
 // deliver handles one data segment: in-order data feeds the engine
@@ -220,7 +321,8 @@ func removeSeq(order *[]uint32, seq uint32) {
 
 // ScanPcap reads a full capture from r and runs every TCP payload byte
 // through engines built by newRunner, returning the reassembly stats.
-// This is the measurement path of the Figure 4 experiment.
+// This is the measurement path of the Figure 4 experiment. For the
+// concurrent counterpart see internal/engine.ScanPcap.
 func ScanPcap(r io.Reader, cfg Config, newRunner func() Runner, onMatch func(Match)) (Stats, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {

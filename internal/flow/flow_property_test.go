@@ -64,9 +64,9 @@ func TestReassemblyEquivalenceRandom(t *testing.T) {
 		a := NewAssembler(Config{}, func() Runner { return m.NewRunner() },
 			func(mt Match) { got = append(got, fmt.Sprintf("%d@%d", mt.ID, mt.Pos)) })
 		k := key(trial)
-		a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+		a.HandleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
 		for _, s := range segs {
-			a.handleSegment(pcap.Segment{Key: k, Seq: s.seq, Flags: pcap.FlagACK, Payload: s.payload})
+			a.HandleSegment(pcap.Segment{Key: k, Seq: s.seq, Flags: pcap.FlagACK, Payload: s.payload})
 		}
 
 		if fmt.Sprint(got) != fmt.Sprint(want) {

@@ -42,9 +42,9 @@ func TestInOrderDelivery(t *testing.T) {
 	a := newAsm(m, &matches)
 
 	k := key(1)
-	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("attack then ")})
-	a.handleSegment(pcap.Segment{Key: k, Seq: 13, Flags: pcap.FlagACK, Payload: []byte("payload")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("attack then ")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 13, Flags: pcap.FlagACK, Payload: []byte("payload")})
 	if len(matches) != 1 {
 		t.Fatalf("matches: %v", matches)
 	}
@@ -64,12 +64,12 @@ func TestOutOfOrderReassembly(t *testing.T) {
 
 	k := key(2)
 	// Segments delivered 3,1,2 (seq 1 is "nee", 4 is "dle").
-	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
-	a.handleSegment(pcap.Segment{Key: k, Seq: 4, Flags: pcap.FlagACK, Payload: []byte("dle")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 4, Flags: pcap.FlagACK, Payload: []byte("dle")})
 	if len(matches) != 0 {
 		t.Fatal("future segment must be buffered, not fed")
 	}
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("nee")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("nee")})
 	if len(matches) != 1 {
 		t.Fatalf("reordered match: %v", matches)
 	}
@@ -84,15 +84,15 @@ func TestDuplicateAndOverlap(t *testing.T) {
 	a := newAsm(m, &matches)
 
 	k := key(3)
-	a.handleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 0, Flags: pcap.FlagSYN})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
 	// Retransmission with overlap: seq 1 again carrying "abcd".
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("abcd")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("abcd")})
 	if len(matches) != 1 {
 		t.Fatalf("overlap-trimmed match: %v", matches)
 	}
 	// Full duplicate of already-delivered data: dropped.
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
 	if a.Stats().DroppedSegs != 1 {
 		t.Errorf("stats: %+v", a.Stats())
 	}
@@ -106,16 +106,16 @@ func TestMultiplexedFlows(t *testing.T) {
 	a := newAsm(m, &matches)
 
 	k1, k2 := key(4), key(5)
-	a.handleSegment(pcap.Segment{Key: k1, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("aa..")})
-	a.handleSegment(pcap.Segment{Key: k2, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("zz..")})
+	a.HandleSegment(pcap.Segment{Key: k1, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("aa..")})
+	a.HandleSegment(pcap.Segment{Key: k2, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("zz..")})
 	if len(matches) != 0 {
 		t.Fatalf("cross-flow contamination: %v", matches)
 	}
-	a.handleSegment(pcap.Segment{Key: k1, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("zz")})
+	a.HandleSegment(pcap.Segment{Key: k1, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("zz")})
 	if len(matches) != 1 || matches[0].Flow != k1 {
 		t.Fatalf("flow 1 should match: %v", matches)
 	}
-	a.handleSegment(pcap.Segment{Key: k2, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("aa..zz")})
+	a.HandleSegment(pcap.Segment{Key: k2, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("aa..zz")})
 	if len(matches) != 2 || matches[1].Flow != k2 {
 		t.Fatalf("flow 2 should match: %v", matches)
 	}
@@ -126,13 +126,13 @@ func TestFinTeardown(t *testing.T) {
 	var matches []Match
 	a := newAsm(m, &matches)
 	k := key(6)
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
-	a.handleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
 	if a.Stats().Flows != 0 {
 		t.Errorf("flow must be dropped after FIN: %+v", a.Stats())
 	}
 	// A new flow with the same key starts fresh: no stale guard bit.
-	a.handleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("cd")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("cd")})
 	if len(matches) != 0 {
 		t.Fatalf("stale context after teardown: %v", matches)
 	}
@@ -142,10 +142,82 @@ func TestMaxFlowsCap(t *testing.T) {
 	m := buildMFA(t, "x")
 	a := NewAssembler(Config{MaxFlows: 2}, func() Runner { return m.NewRunner() }, nil)
 	for i := 0; i < 5; i++ {
-		a.handleSegment(pcap.Segment{Key: key(i), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("y")})
+		a.HandleSegment(pcap.Segment{Key: key(i), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("y")})
 	}
-	if a.Stats().Flows != 2 {
-		t.Errorf("flow cap: %+v", a.Stats())
+	st := a.Stats()
+	if st.Flows != 2 {
+		t.Errorf("flow cap: %+v", st)
+	}
+	// Cap pressure is counted, not silent: 3 of the 5 flows displaced.
+	if st.EvictedCap != 3 || st.FlowsTotal != 5 {
+		t.Errorf("eviction accounting: %+v", st)
+	}
+}
+
+func TestMaxFlowsEvictsOldestNotNewest(t *testing.T) {
+	// Regression for the silent reject-new behavior: at the cap, the
+	// *least recently seen* flow must be evicted so new traffic is still
+	// scanned, and surviving flows keep their matching context.
+	m := buildMFA(t, "aa.*zz")
+	var matches []Match
+	a := NewAssembler(Config{MaxFlows: 2}, func() Runner { return m.NewRunner() },
+		func(mt Match) { matches = append(matches, mt) })
+
+	k1, k2, k3 := key(1), key(2), key(3)
+	a.HandleSegment(pcap.Segment{Key: k1, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("aa..")})
+	a.HandleSegment(pcap.Segment{Key: k2, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("....")})
+	// Touch k1 so k2 becomes the LRU victim.
+	a.HandleSegment(pcap.Segment{Key: k1, Seq: 5, Flags: pcap.FlagACK, Payload: []byte("..")})
+	// k3 arrives at the cap: k2 must go, k1 must survive.
+	a.HandleSegment(pcap.Segment{Key: k3, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("zz")})
+	if st := a.Stats(); st.Flows != 2 || st.EvictedCap != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// k1's context survived eviction pressure: completing the pattern
+	// still matches.
+	a.HandleSegment(pcap.Segment{Key: k1, Seq: 7, Flags: pcap.FlagACK, Payload: []byte("zz")})
+	if len(matches) != 1 || matches[0].Flow != k1 {
+		t.Fatalf("surviving flow lost its context: %v", matches)
+	}
+}
+
+func TestRunnerRecycledThroughPool(t *testing.T) {
+	m := buildMFA(t, "ab.*cd")
+	allocs := 0
+	a := NewAssembler(Config{}, func() Runner { allocs++; return m.NewRunner() }, nil)
+
+	k := key(8)
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+	a.HandleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
+	// A new flow reuses the torn-down flow's runner instead of allocating.
+	a.HandleSegment(pcap.Segment{Key: key(9), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("xy")})
+	if allocs != 1 {
+		t.Errorf("allocs = %d, want 1 (second flow should come from the pool)", allocs)
+	}
+	if st := a.Stats(); st.RunnersReused != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestEvictIdle(t *testing.T) {
+	m := buildMFA(t, "x")
+	a := NewAssembler(Config{}, func() Runner { return m.NewRunner() }, nil)
+
+	a.HandleSegment(pcap.Segment{Key: key(1), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("y")})
+	// 10 segments of other traffic age flow 1 out.
+	for i := 0; i < 10; i++ {
+		a.HandleSegment(pcap.Segment{Key: key(2), Seq: uint32(1 + i), Flags: pcap.FlagACK, Payload: []byte("y")})
+	}
+	if n := a.EvictIdle(5); n != 1 {
+		t.Fatalf("EvictIdle = %d, want 1", n)
+	}
+	st := a.Stats()
+	if st.Flows != 1 || st.EvictedIdle != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	// The active flow stays.
+	if n := a.EvictIdle(5); n != 0 {
+		t.Errorf("active flow evicted: %d", n)
 	}
 }
 
@@ -154,7 +226,7 @@ func TestBufferedSegmentCap(t *testing.T) {
 	a := NewAssembler(Config{MaxBufferedSegments: 4}, func() Runner { return m.NewRunner() }, nil)
 	k := key(7)
 	for i := 0; i < 10; i++ {
-		a.handleSegment(pcap.Segment{Key: k, Seq: uint32(100 + 10*i), Flags: pcap.FlagACK, Payload: []byte("zzz")})
+		a.HandleSegment(pcap.Segment{Key: k, Seq: uint32(100 + 10*i), Flags: pcap.FlagACK, Payload: []byte("zzz")})
 	}
 	if a.Stats().DroppedSegs == 0 {
 		t.Error("buffer cap should drop segments")
