@@ -3,6 +3,9 @@
 // Ethernet/IPv4/TCP decode with flow reassembly, the paper's Figure 4
 // path) or a raw byte stream treated as a single flow.
 //
+// Malformed frames and records are skipped and counted by default;
+// -strict aborts on the first one with exit code 2.
+//
 // Usage:
 //
 //	mfascan -set S24 -pcap trace.pcap
@@ -12,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,22 +26,33 @@ import (
 	"matchfilter/internal/core"
 	"matchfilter/internal/flow"
 	"matchfilter/internal/patterns"
+	"matchfilter/internal/pcap"
 	"matchfilter/internal/regexparse"
 )
 
+const (
+	exitError  = 1 // generic operational error
+	exitStrict = 2 // -strict: first malformed frame/record
+)
+
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfascan:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = exitError
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
 	rulesFile := flag.String("rules", "", "file with one pattern per line")
 	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
 	pcapPath := flag.String("pcap", "", "pcap file to scan (- for stdin)")
 	rawPath := flag.String("raw", "", "raw payload file to scan as one flow (- for stdin)")
+	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the summary")
 	flag.Parse()
 
@@ -45,43 +60,53 @@ func run() error {
 	var sources []string
 	if *engineFile != "" {
 		if *set != "" || *rulesFile != "" {
-			return fmt.Errorf("-engine replaces -set/-rules")
+			return exitError, fmt.Errorf("-engine replaces -set/-rules")
 		}
 		f, err := os.Open(*engineFile)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		defer f.Close()
 		br := bufio.NewReaderSize(f, 1<<20)
 		sources, err = core.ReadStrings(br)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		m, err = core.ReadMFA(br)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 	} else {
 		rules, srcs, err := loadRules(*set, *rulesFile)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		sources = srcs
 		m, err = core.Compile(rules, core.Options{})
 		if err != nil {
-			return err
+			return exitError, err
 		}
 	}
 
 	switch {
 	case *pcapPath != "" && *rawPath != "":
-		return fmt.Errorf("use either -pcap or -raw, not both")
+		return exitError, fmt.Errorf("use either -pcap or -raw, not both")
 	case *pcapPath != "":
-		return scanPcap(m, sources, *pcapPath, *quiet)
+		if err := scanPcap(m, sources, *pcapPath, *strict, *quiet); err != nil {
+			var me *malformedError
+			if errors.As(err, &me) {
+				return exitStrict, err
+			}
+			return exitError, err
+		}
+		return 0, nil
 	case *rawPath != "":
-		return scanRaw(m, sources, *rawPath, *quiet)
+		if err := scanRaw(m, sources, *rawPath, *quiet); err != nil {
+			return exitError, err
+		}
+		return 0, nil
 	default:
-		return fmt.Errorf("one of -pcap or -raw is required")
+		return exitError, fmt.Errorf("one of -pcap or -raw is required")
 	}
 }
 
@@ -92,7 +117,15 @@ func openInput(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
-func scanPcap(m *core.MFA, sources []string, path string, quiet bool) error {
+// malformedError marks an abort caused by malformed capture input, so
+// run can map it to the strict-mode exit code rather than the generic
+// one.
+type malformedError struct{ err error }
+
+func (e *malformedError) Error() string { return e.err.Error() }
+func (e *malformedError) Unwrap() error { return e.err }
+
+func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) error {
 	in, err := openInput(path)
 	if err != nil {
 		return err
@@ -100,8 +133,7 @@ func scanPcap(m *core.MFA, sources []string, path string, quiet bool) error {
 	defer in.Close()
 
 	var matches int64
-	start := time.Now()
-	stats, err := flow.ScanPcap(bufio.NewReaderSize(in, 1<<20), flow.Config{},
+	asm := flow.NewAssembler(flow.Config{},
 		func() flow.Runner { return m.NewRunner() },
 		func(mt flow.Match) {
 			matches++
@@ -110,15 +142,42 @@ func scanPcap(m *core.MFA, sources []string, path string, quiet bool) error {
 					mt.Flow, mt.Pos, mt.ID, sources[mt.ID-1])
 			}
 		})
+
+	start := time.Now()
+	pr, err := pcap.NewReader(bufio.NewReaderSize(in, 1<<20))
 	if err != nil {
-		return err
+		return &malformedError{err}
+	}
+	var malformed int64
+	for {
+		pkt, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if strict {
+				return &malformedError{err}
+			}
+			// Record-level damage cannot be resynced past: count it and
+			// treat the remainder as unreadable.
+			malformed++
+			fmt.Fprintf(os.Stderr, "mfascan: capture unreadable past this point, stopping: %v\n", err)
+			break
+		}
+		if err := asm.HandleFrame(pkt.Data); err != nil {
+			if strict {
+				return &malformedError{err}
+			}
+			malformed++ // malformed frame: skip and keep scanning
+		}
 	}
 	elapsed := time.Since(start)
+	stats := asm.Stats()
 	fmt.Printf("scanned %d TCP packets, %d payload bytes in %v (%.1f MB/s)\n",
 		stats.Packets, stats.PayloadBytes,
 		elapsed, float64(stats.PayloadBytes)/(1<<20)/elapsed.Seconds())
-	fmt.Printf("out-of-order segments: %d, dropped: %d, non-TCP frames: %d\n",
-		stats.OutOfOrder, stats.DroppedSegs, stats.SkippedFrames)
+	fmt.Printf("out-of-order segments: %d, dropped: %d, non-TCP frames: %d, malformed: %d\n",
+		stats.OutOfOrder, stats.DroppedSegs, stats.SkippedFrames, malformed)
 	fmt.Printf("confirmed matches: %d\n", matches)
 	return nil
 }

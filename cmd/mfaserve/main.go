@@ -6,6 +6,14 @@
 // §III-B claim: per-flow state is a tiny (q, m) context, so one process
 // can track hundreds of thousands of concurrent flows across shards.
 //
+// Robustness posture (DESIGN.md §10): malformed frames and records are
+// skipped and counted by default (-strict aborts on the first one with
+// exit code 2); shard panics quarantine single flows under a crash
+// budget; overload steps through the soft/hard degradation ladder; and
+// shutdown is bounded by -drain-timeout. The exit status reports serving
+// health: 0 healthy, 1 operational error, 2 strict-mode parse abort,
+// 3 at least one shard ended unhealthy.
+//
 // Usage:
 //
 //	mfabuild -set C8 -o c8.eng
@@ -16,6 +24,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,14 +42,27 @@ import (
 	"matchfilter/internal/regexparse"
 )
 
+// Exit codes: operational failures are distinguishable from input and
+// health failures so supervisors can react differently.
+const (
+	exitOK        = 0
+	exitError     = 1 // generic operational error
+	exitStrict    = 2 // -strict: first malformed frame/record
+	exitUnhealthy = 3 // a shard ended unhealthy (crash budget exhausted)
+)
+
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfaserve:", err)
-		os.Exit(1)
+		if code == exitOK {
+			code = exitError
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
 	rulesFile := flag.String("rules", "", "file with one pattern per line (# starts a comment)")
 	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
@@ -49,18 +72,23 @@ func run() error {
 	drop := flag.Bool("drop", false, "drop segments when a shard queue is full instead of applying backpressure")
 	maxFlows := flag.Int("max-flows", 0, "per-shard flow-table cap, LRU-evicted (0 = unbounded)")
 	idle := flag.Int64("idle", 0, "evict flows idle for this many segments (0 = never)")
+	crashBudget := flag.Int("crash-budget", 0, "recovered panics before a shard is marked unhealthy (0 = default 8)")
+	softMark := flag.Float64("soft-watermark", 0, "pressure threshold for soft degradation (0 = default 0.5)")
+	hardMark := flag.Float64("hard-watermark", 0, "pressure threshold for hard degradation (0 = default 0.9)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "bound the shutdown drain; on expiry report per-shard progress and exit nonzero (0 = wait forever)")
+	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	statsEvery := flag.Duration("stats", 0, "print a stats line to stderr at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the report")
 	flag.Parse()
 
 	m, sources, err := loadEngine(*engineFile, *set, *rulesFile)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 
 	in, err := openInput(*pcapPath)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	defer in.Close()
 
@@ -77,11 +105,14 @@ func run() error {
 	}
 
 	cfg := engine.Config{
-		Shards:       *shards,
-		QueueDepth:   *queue,
-		DropWhenFull: *drop,
-		Flow:         flow.Config{MaxFlows: *maxFlows},
-		IdleAfter:    *idle,
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		DropWhenFull:  *drop,
+		Flow:          flow.Config{MaxFlows: *maxFlows},
+		IdleAfter:     *idle,
+		CrashBudget:   *crashBudget,
+		SoftWatermark: *softMark,
+		HardWatermark: *hardMark,
 	}
 	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
 
@@ -91,33 +122,73 @@ func run() error {
 	}
 
 	start := time.Now()
-	scanErr := feedPcap(e, in)
-	if err := e.Close(); err != nil {
-		return err
+	malformed, scanErr := feedPcap(e, in, *strict)
+
+	closeCtx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		closeCtx, cancel = context.WithTimeout(closeCtx, *drainTimeout)
+		defer cancel()
 	}
+	closeErr := e.CloseContext(closeCtx)
 	close(stop)
 	elapsed := time.Since(start)
 
-	report(os.Stdout, e.Stats(), elapsed)
-	return scanErr
+	st := e.Stats()
+	report(os.Stdout, st, elapsed)
+	healthLine(os.Stdout, st, malformed)
+
+	switch {
+	case scanErr != nil && *strict:
+		return exitStrict, scanErr
+	case scanErr != nil:
+		return exitError, scanErr
+	case closeErr != nil:
+		return exitError, closeErr
+	case st.UnhealthyShards > 0:
+		return exitUnhealthy, fmt.Errorf("%d shard(s) ended unhealthy", st.UnhealthyShards)
+	}
+	return exitOK, nil
 }
 
-// feedPcap pumps every frame of the capture into the engine.
-func feedPcap(e *engine.Engine, in io.Reader) error {
+// feedPcap pumps every frame of the capture into the engine. In lenient
+// mode (the default) malformed frames and a truncated capture tail are
+// counted and skipped, as a daemon on a hostile wire must; in strict
+// mode the first malformed input aborts with its typed error.
+func feedPcap(e *engine.Engine, in io.Reader, strict bool) (malformed int64, err error) {
 	pr, err := pcap.NewReader(bufio.NewReaderSize(in, 1<<20))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for {
 		pkt, err := pr.Next()
 		if err == io.EOF {
-			return nil
+			return malformed, nil
 		}
 		if err != nil {
-			return err
+			if strict {
+				return malformed, err
+			}
+			malformed++
+			if errors.Is(err, pcap.ErrTruncatedFrame) {
+				// A capture cut mid-record: everything before it was
+				// valid, nothing after it can be framed. Treat as end of
+				// stream.
+				fmt.Fprintf(os.Stderr, "mfaserve: capture truncated, stopping: %v\n", err)
+				return malformed, nil
+			}
+			// Unresyncable record damage (e.g. implausible length).
+			fmt.Fprintf(os.Stderr, "mfaserve: unreadable record, stopping: %v\n", err)
+			return malformed, nil
 		}
 		if err := e.HandleFrame(pkt.Data); err != nil {
-			return err
+			if errors.Is(err, engine.ErrClosed) {
+				return malformed, err
+			}
+			if strict {
+				return malformed, err
+			}
+			malformed++ // malformed frame: skip and keep scanning
 		}
 	}
 }
@@ -133,9 +204,9 @@ func progressLoop(e *engine.Engine, every time.Duration, stop <-chan struct{}) {
 		case <-t.C:
 			st := e.Stats()
 			fmt.Fprintf(os.Stderr,
-				"mfaserve: pkts=%d bytes=%d flows=%d/%d matches=%d queued=%d drops=%d\n",
+				"mfaserve: pkts=%d bytes=%d flows=%d/%d matches=%d queued=%d drops=%d tier=%s poisoned=%d\n",
 				st.Packets, st.PayloadBytes, st.FlowsLive, st.FlowsTotal,
-				st.Matches, st.QueueDepth, st.QueueDrops)
+				st.Matches, st.QueueDepth, st.QueueDrops+st.HardDrops, st.Tier, st.PoisonedFlows)
 		}
 	}
 }
@@ -155,6 +226,26 @@ func report(w io.Writer, st engine.Stats, elapsed time.Duration) {
 		fmt.Fprintf(w, " s%d=%d/%d", i, st.ShardPackets[i], st.ShardMatches[i])
 	}
 	fmt.Fprintln(w)
+}
+
+// healthLine emits the structured one-line health summary: everything a
+// supervisor needs to judge the run without parsing the prose report.
+func healthLine(w io.Writer, st engine.Stats, malformed int64) {
+	status := "ok"
+	if st.UnhealthyShards > 0 {
+		status = "unhealthy"
+	} else if st.PoisonedFlows > 0 || st.TierEnters[engine.TierHard] > 0 {
+		status = "degraded"
+	}
+	fmt.Fprintf(w,
+		"health: %s poisoned_flows=%d shard_panics=%d shard_restarts=%d unhealthy_shards=%d "+
+			"drops{queue=%d hard=%d poisoned=%d unhealthy=%d reasm=%d} malformed=%d "+
+			"tier{now=%s soft_enters=%d hard_enters=%d soft_time=%s hard_time=%s}\n",
+		status, st.PoisonedFlows, st.ShardPanics, st.ShardRestarts, st.UnhealthyShards,
+		st.QueueDrops, st.HardDrops, st.PoisonedDrops, st.UnhealthyDrops, st.DroppedSegs, malformed,
+		st.Tier, st.TierEnters[engine.TierSoft], st.TierEnters[engine.TierHard],
+		st.TierTime[engine.TierSoft].Round(time.Millisecond),
+		st.TierTime[engine.TierHard].Round(time.Millisecond))
 }
 
 func openInput(path string) (io.ReadCloser, error) {

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+)
+
+// TestCloseRaceHandleSegment hammers the Handle/Close race: many
+// producers dispatch segments while Close runs concurrently. The
+// contract under -race: a send never lands on a closed channel (that
+// would panic a producer), late sends return ErrClosed and nothing else,
+// and every successfully dispatched segment is accounted for — scanned
+// or counted in exactly one drop bucket.
+func TestCloseRaceHandleSegment(t *testing.T) {
+	m := buildMFA(t, "attack")
+	const producers = 8
+	const perProducer = 200
+	for iter := 0; iter < 25; iter++ {
+		e := New(Config{Shards: 4, QueueDepth: 16, DropWhenFull: true},
+			func() flow.Runner { return m.NewRunner() }, nil)
+
+		var sent atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				payload := []byte(fmt.Sprintf("producer %d says attack", p))
+				for i := 0; i < perProducer; i++ {
+					seg := pcap.Segment{
+						Key: pcap.FlowKey{
+							SrcIP:   0x0a000000 | uint32(p+1),
+							DstIP:   0xc0a80101,
+							SrcPort: uint16(20000 + p),
+							DstPort: 80,
+						},
+						Seq:     uint32(i * len(payload)),
+						Flags:   pcap.FlagACK,
+						Payload: payload,
+					}
+					switch err := e.HandleSegment(seg); {
+					case err == nil:
+						sent.Add(1)
+					case errors.Is(err, ErrClosed):
+						return
+					default:
+						t.Errorf("HandleSegment: unexpected error %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		close(start)
+		if err := e.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		wg.Wait()
+
+		st := e.Stats()
+		accounted := st.Packets + st.PoisonedDrops + st.UnhealthyDrops + st.QueueDrops + st.HardDrops
+		if accounted != sent.Load() {
+			t.Fatalf("iter %d: %d successful sends but %d accounted (packets=%d queue=%d hard=%d)",
+				iter, sent.Load(), accounted, st.Packets, st.QueueDrops, st.HardDrops)
+		}
+	}
+}
+
+// TestCloseRaceHandleFrame is the same race through the frame-decode
+// entry point, plus concurrent Close and CloseContext callers: all
+// closers must return without panic and agree the engine drained.
+func TestCloseRaceHandleFrame(t *testing.T) {
+	m := buildMFA(t, "attack")
+	key := pcap.FlowKey{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 20000, DstPort: 80}
+	payload := []byte("frame-path attack frame-path")
+
+	for iter := 0; iter < 10; iter++ {
+		e := New(Config{Shards: 2, QueueDepth: 8, DropWhenFull: true},
+			func() flow.Runner { return m.NewRunner() }, nil)
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					frame := pcap.EncodeTCP(key, uint32(i*len(payload)), pcap.FlagACK, payload)
+					if err := e.HandleFrame(frame); err != nil {
+						if errors.Is(err, ErrClosed) {
+							return
+						}
+						t.Errorf("HandleFrame: unexpected error %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		// Two concurrent closers, one with a deadline: both must return
+		// cleanly (idempotent close, no double-close panic).
+		closeErrs := make(chan error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); <-start; closeErrs <- e.Close() }()
+		go func() {
+			defer wg.Done()
+			<-start
+			closeErrs <- e.CloseContext(context.Background())
+		}()
+		close(start)
+		wg.Wait()
+		for i := 0; i < 2; i++ {
+			if err := <-closeErrs; err != nil {
+				t.Fatalf("closer %d: %v", i, err)
+			}
+		}
+		for _, d := range e.DrainProgress() {
+			if !d.Done || d.Queued != 0 {
+				t.Fatalf("shard %d not drained after Close: %+v", d.Shard, d)
+			}
+		}
+	}
+}

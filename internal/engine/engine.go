@@ -4,8 +4,9 @@
 // and embarrassingly parallel — the engine demultiplexes TCP segments by
 // hash(FlowKey) onto N shard goroutines, each owning a private
 // flow.Assembler (flow table, runner pool, reassembly buffers) that it
-// alone touches. The hot path takes no locks: dispatch is one hash and
-// one bounded-channel send; everything after that is shard-local.
+// alone touches. The hot path takes no exclusive locks: dispatch is one
+// hash, one shared read-lock, and one bounded-channel send; everything
+// after that is shard-local.
 //
 // Guarantees:
 //
@@ -16,8 +17,20 @@
 //   - Bounded memory: per-shard queues are bounded (block or drop, by
 //     config), flow tables are capped with LRU eviction, and idle flows
 //     are swept on a logical clock.
+//   - Fault isolation: a panic inside a shard (a poisoned flow hitting a
+//     matcher bug) quarantines that one flow and the shard keeps
+//     serving; a shard that exhausts its crash budget is marked
+//     unhealthy and drop-counts its traffic instead of crashing the
+//     process. See shard.go.
+//   - Graceful degradation: watermarks on aggregate queue depth and
+//     flow-table occupancy step the engine through a documented ladder
+//     (normal → soft → hard) instead of letting it fall over. See
+//     degrade.go and DESIGN.md §10.
 //   - Deterministic shutdown: Close drains every queued segment before
-//     returning, and Stats after Close is exact.
+//     returning, and Stats after Close is exact. CloseContext bounds the
+//     drain with a deadline and reports per-shard progress when a shard
+//     wedges. Handle calls may race with Close: they return ErrClosed,
+//     never panic.
 package engine
 
 import (
@@ -27,6 +40,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"matchfilter/internal/flow"
 	"matchfilter/internal/pcap"
@@ -51,17 +65,38 @@ type Config struct {
 	// backpressure — dispatch blocks until the shard drains; true drops
 	// the segment and counts it in Stats.QueueDrops. Inline scanners
 	// want backpressure; live-capture front-ends usually prefer drops.
+	// Independent of this policy, the hard degradation tier drops at
+	// dispatch with accounting (Stats.HardDrops).
 	DropWhenFull bool
 	// Flow configures each shard's reassembler. Flow.MaxFlows is a
 	// per-shard cap, so the engine tracks at most Shards×MaxFlows flows.
 	Flow flow.Config
 	// IdleAfter evicts flows whose last segment is more than this many
 	// segments in the past on the owning shard's clock. 0 disables
-	// idle sweeping.
+	// idle sweeping at the normal tier (degraded tiers still sweep, see
+	// DegradedIdleAfter).
 	IdleAfter int64
 	// SweepEvery is how often (in segments) a shard runs its idle sweep.
 	// 0 means 4096.
 	SweepEvery int64
+	// CrashBudget is how many recovered panics a shard tolerates before
+	// it is marked unhealthy: its remaining and future segments are
+	// drop-counted (Stats.UnhealthyDrops) instead of scanned, and the
+	// engine keeps serving on the other shards. 0 means 8.
+	CrashBudget int
+	// SoftWatermark and HardWatermark are pressure thresholds in (0,1]
+	// over max(queued/queueCapacity, liveFlows/flowCapacity); the flow
+	// term only applies when Flow.MaxFlows > 0. Crossing soft triggers
+	// aggressive idle eviction and shrinks reassembly buffers; crossing
+	// hard additionally drops new segments at dispatch with accounting.
+	// Tiers exit with hysteresis at 3/4 of their entry threshold.
+	// 0 means 0.5 (soft) and 0.9 (hard).
+	SoftWatermark float64
+	HardWatermark float64
+	// DegradedIdleAfter is the aggressive idle age (in segments) used
+	// while at or above the soft tier. 0 means IdleAfter/4 when idle
+	// sweeping is configured, else 1024.
+	DegradedIdleAfter int64
 }
 
 func (c *Config) setDefaults() {
@@ -74,22 +109,60 @@ func (c *Config) setDefaults() {
 	if c.SweepEvery <= 0 {
 		c.SweepEvery = 4096
 	}
+	if c.CrashBudget <= 0 {
+		c.CrashBudget = 8
+	}
+	if c.SoftWatermark <= 0 {
+		c.SoftWatermark = 0.5
+	}
+	if c.HardWatermark <= 0 {
+		c.HardWatermark = 0.9
+	}
+	if c.HardWatermark < c.SoftWatermark {
+		c.HardWatermark = c.SoftWatermark
+	}
+	if c.DegradedIdleAfter <= 0 {
+		if c.IdleAfter > 0 {
+			c.DegradedIdleAfter = (c.IdleAfter + 3) / 4
+		} else {
+			c.DegradedIdleAfter = 1024
+		}
+	}
 }
 
 // Engine fans TCP segments out to per-shard flow scanners.
 //
 // HandleFrame/HandleSegment may be called from many goroutines
 // concurrently; the match handler is invoked from shard goroutines (also
-// concurrently) and must be safe for that. Close must not race with
-// in-flight Handle calls — stop producers first.
+// concurrently) and must be safe for that. Close may race with in-flight
+// Handle calls: once Close has begun, Handle calls return ErrClosed.
 type Engine struct {
 	cfg    Config
 	shards []*shard
 	wg     sync.WaitGroup
 
-	closed     atomic.Bool
+	// mu orders Handle calls against Close: dispatchers hold the read
+	// side while touching shard channels, Close takes the write side to
+	// flip closed and close the channels, so a send on a closed channel
+	// is impossible by construction.
+	mu      sync.RWMutex
+	closed  bool
+	drained chan struct{} // closed when every shard goroutine has exited
+
 	skipped    atomic.Int64 // non-TCP frames
 	queueDrops atomic.Int64 // segments dropped by DropWhenFull
+	hardDrops  atomic.Int64 // segments dropped at dispatch by the hard tier
+
+	// Degradation ladder state (degrade.go).
+	tier       atomic.Int32
+	dispatches atomic.Int64
+	evalEvery  int64
+	queueCap   int
+	flowCap    int
+	tierMu     sync.Mutex
+	tierSince  time.Time
+	tierTime   [3]time.Duration
+	tierEnters [3]int64
 }
 
 // New starts an engine with Shards goroutines. newRunner must be safe
@@ -97,20 +170,43 @@ type Engine struct {
 // per-flow state they return need not be). onMatch may be nil.
 func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine {
 	cfg.setDefaults()
-	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	e := &Engine{
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		drained:   make(chan struct{}),
+		queueCap:  cfg.Shards * cfg.QueueDepth,
+		flowCap:   cfg.Shards * cfg.Flow.MaxFlows,
+		tierSince: time.Now(),
+	}
+	// Re-evaluate pressure well before any single queue can fill between
+	// two evaluations; cheap enough that small queues check every call.
+	e.evalEvery = int64(cfg.QueueDepth / 4)
+	if e.evalEvery < 1 {
+		e.evalEvery = 1
+	}
+	if e.evalEvery > 256 {
+		e.evalEvery = 256
+	}
 	for i := range e.shards {
-		s := &shard{in: make(chan pcap.Segment, cfg.QueueDepth)}
+		s := &shard{
+			idx:         i,
+			in:          make(chan pcap.Segment, cfg.QueueDepth),
+			quarantined: make(map[pcap.FlowKey]struct{}),
+		}
 		shardMatch := func(m Match) {
 			s.matches.Add(1)
 			if onMatch != nil {
 				onMatch(m)
 			}
 		}
-		s.asm = flow.NewAssembler(cfg.Flow, newRunner, shardMatch)
+		s.rebuild = func() *flow.Assembler {
+			return flow.NewAssembler(cfg.Flow, newRunner, shardMatch)
+		}
+		s.asm = s.rebuild()
 		s.publish()
 		e.shards[i] = s
 		e.wg.Add(1)
-		go s.run(&e.wg, cfg.IdleAfter, cfg.SweepEvery)
+		go s.run(e)
 	}
 	return e
 }
@@ -132,10 +228,22 @@ func (e *Engine) HandleFrame(frame []byte) error {
 	return e.HandleSegment(seg)
 }
 
-// HandleSegment routes one decoded segment to its flow's shard.
+// HandleSegment routes one decoded segment to its flow's shard. It may
+// race with Close: after Close has begun it returns ErrClosed.
 func (e *Engine) HandleSegment(seg pcap.Segment) error {
-	if e.closed.Load() {
+	if e.dispatches.Add(1)%e.evalEvery == 0 {
+		e.evalPressure()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
 		return ErrClosed
+	}
+	if Tier(e.tier.Load()) == TierHard {
+		// Hard degradation: shed at the cheapest possible point, before
+		// the segment touches a queue, and account for it.
+		e.hardDrops.Add(1)
+		return nil
 	}
 	s := e.shards[shardIndex(seg.Key, len(e.shards))]
 	if e.cfg.DropWhenFull {
@@ -147,21 +255,6 @@ func (e *Engine) HandleSegment(seg pcap.Segment) error {
 		return nil
 	}
 	s.in <- seg
-	return nil
-}
-
-// Close stops intake, drains every shard's queue, and waits for the
-// shard goroutines to exit. After Close, Stats is exact and Handle calls
-// return ErrClosed. Close is idempotent but must not be called
-// concurrently with Handle calls.
-func (e *Engine) Close() error {
-	if e.closed.Swap(true) {
-		return nil
-	}
-	for _, s := range e.shards {
-		close(s.in)
-	}
-	e.wg.Wait()
 	return nil
 }
 
@@ -194,44 +287,6 @@ func shardIndex(k pcap.FlowKey, n int) int {
 	return int(h % uint64(n))
 }
 
-// shard is one goroutine's private scanning lane.
-type shard struct {
-	in  chan pcap.Segment
-	asm *flow.Assembler
-
-	// matches is updated on every confirmed match; snap mirrors the
-	// assembler's counters every statsEvery segments and at exit, so
-	// outside observers never touch the assembler itself.
-	matches atomic.Int64
-	snap    atomic.Pointer[flow.Stats]
-}
-
-// statsEvery is how often (in segments) a shard refreshes its published
-// stats snapshot. Snapshots are therefore at most this stale while the
-// engine runs; Close publishes a final exact snapshot.
-const statsEvery = 64
-
-func (s *shard) publish() {
-	st := s.asm.Stats()
-	s.snap.Store(&st)
-}
-
-func (s *shard) run(wg *sync.WaitGroup, idleAfter, sweepEvery int64) {
-	defer wg.Done()
-	var n int64
-	for seg := range s.in {
-		s.asm.HandleSegment(seg)
-		n++
-		if idleAfter > 0 && n%sweepEvery == 0 {
-			s.asm.EvictIdle(idleAfter)
-		}
-		if n%statsEvery == 0 {
-			s.publish()
-		}
-	}
-	s.publish()
-}
-
 // Stats is a point-in-time engine snapshot, aggregated over shards. While
 // the engine runs, per-shard counters may lag the hot path by a few dozen
 // segments; after Close the snapshot is exact.
@@ -259,6 +314,33 @@ type Stats struct {
 	// ShardMatches and ShardPackets expose the per-shard balance.
 	ShardMatches []int64
 	ShardPackets []int64
+
+	// Fault-isolation counters (shard.go).
+	//
+	// PoisonedFlows counts flows quarantined after a panic inside their
+	// matcher; PoisonedDrops counts later segments of quarantined flows,
+	// dropped without scanning. ShardPanics counts every recovered panic,
+	// ShardRestarts the rarer assembler rebuilds (a panic during flow
+	// excision, i.e. assembler-wide corruption), and LostFlows the live
+	// flows discarded by those rebuilds. UnhealthyShards counts shards
+	// that exhausted their crash budget; their traffic lands in
+	// UnhealthyDrops.
+	PoisonedFlows   int64
+	PoisonedDrops   int64
+	ShardPanics     int64
+	ShardRestarts   int64
+	LostFlows       int64
+	UnhealthyShards int
+	UnhealthyDrops  int64
+
+	// Degradation-ladder state (degrade.go). Tier is the current tier;
+	// TierEnters counts entries into each tier and TierTime the
+	// cumulative wall-clock time spent there (index by Tier). HardDrops
+	// counts segments shed at dispatch while at the hard tier.
+	Tier       Tier
+	HardDrops  int64
+	TierEnters [3]int64
+	TierTime   [3]time.Duration
 }
 
 // Stats aggregates the engine's counters.
@@ -267,6 +349,7 @@ func (e *Engine) Stats() Stats {
 		Shards:        len(e.shards),
 		SkippedFrames: e.skipped.Load(),
 		QueueDrops:    e.queueDrops.Load(),
+		HardDrops:     e.hardDrops.Load(),
 		ShardMatches:  make([]int64, len(e.shards)),
 		ShardPackets:  make([]int64, len(e.shards)),
 	}
@@ -285,7 +368,23 @@ func (e *Engine) Stats() Stats {
 		st.ShardMatches[i] = s.matches.Load()
 		st.ShardPackets[i] = a.Packets
 		st.Matches += st.ShardMatches[i]
+
+		st.PoisonedFlows += s.poisoned.Load()
+		st.PoisonedDrops += s.poisonedDrops.Load()
+		st.ShardPanics += s.panics.Load()
+		st.ShardRestarts += s.restarts.Load()
+		st.LostFlows += s.lostFlows.Load()
+		st.UnhealthyDrops += s.unhealthyDrops.Load()
+		if s.unhealthy.Load() {
+			st.UnhealthyShards++
+		}
 	}
+	e.tierMu.Lock()
+	st.Tier = Tier(e.tier.Load())
+	st.TierEnters = e.tierEnters
+	st.TierTime = e.tierTime
+	st.TierTime[st.Tier] += time.Since(e.tierSince)
+	e.tierMu.Unlock()
 	return st
 }
 

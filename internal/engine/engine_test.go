@@ -241,10 +241,13 @@ func (r *blockingRunner) Reset()                                      {}
 
 // TestDropWhenFull verifies explicit drop accounting under overload: with
 // the shard stalled, a bounded queue overflows into QueueDrops and no
-// segment is silently lost from the books.
+// segment is silently lost from the books. Watermarks above 1.0 keep the
+// degradation ladder out of the way so the overflow path itself is
+// exercised (the ladder's own drops are covered in fault_test.go).
 func TestDropWhenFull(t *testing.T) {
 	gate := make(chan struct{})
-	e := New(Config{Shards: 1, QueueDepth: 4, DropWhenFull: true},
+	e := New(Config{Shards: 1, QueueDepth: 4, DropWhenFull: true,
+		SoftWatermark: 1.1, HardWatermark: 1.2},
 		func() flow.Runner { return &blockingRunner{gate: gate} }, nil)
 	k := pcap.FlowKey{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6}
 	const total = 32

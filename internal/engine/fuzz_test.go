@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+)
+
+// deriveSegments turns fuzz bytes into a deterministic segment stream
+// over nFlows flows: each control byte picks a payload length and an
+// optional swap with the previous segment (out-of-order arrival), and
+// per-flow sequence numbers advance by payload size so the streams are
+// coherent. The same stream is fed to both scanners, so any derivation
+// is fair game — the property is equivalence, not protocol validity.
+func deriveSegments(data []byte, nFlows int) []pcap.Segment {
+	var segs []pcap.Segment
+	seqs := make([]uint32, nFlows)
+	for i := 0; len(data) > 0; i++ {
+		ctl := data[0]
+		data = data[1:]
+		n := int(ctl&0x3f) + 1
+		if n > len(data) {
+			n = len(data)
+		}
+		if n == 0 {
+			break
+		}
+		fl := i % nFlows
+		seg := pcap.Segment{
+			Key: pcap.FlowKey{
+				SrcIP:   0x0a000000 | uint32(fl+1),
+				DstIP:   0xc0a80101,
+				SrcPort: uint16(30000 + fl),
+				DstPort: 80,
+			},
+			Seq:     seqs[fl],
+			Flags:   pcap.FlagACK,
+			Payload: data[:n],
+		}
+		data = data[n:]
+		seqs[fl] += uint32(n)
+		segs = append(segs, seg)
+		if ctl&0x80 != 0 && len(segs) >= 2 {
+			segs[len(segs)-1], segs[len(segs)-2] = segs[len(segs)-2], segs[len(segs)-1]
+		}
+	}
+	return segs
+}
+
+// FuzzEngineSegments checks the acceptance property of the sharded
+// engine against arbitrary traffic: for any segment stream, the
+// concurrent engine's per-flow match sets are identical to a sequential
+// assembler scanning the same segments.
+func FuzzEngineSegments(f *testing.F) {
+	m := buildMFA(f, "attack", `evil\.(exe|dll)`, `GET /[a-z]+`)
+	newRunner := func() flow.Runner { return m.NewRunner() }
+
+	f.Add([]byte("\x0aGET /etc attack\x0bevil.exe now\x85attack attack"), uint8(3))
+	f.Add([]byte("\x01a\x01t\x01t\x01a\x01c\x01k"), uint8(1))
+	f.Add([]byte{0x80, 'a', 0x81, 'b', 0x82, 'c'}, uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, nFlowsRaw uint8) {
+		segs := deriveSegments(data, 1+int(nFlowsRaw%8))
+		if len(segs) == 0 {
+			return
+		}
+
+		var seq []Match
+		asm := flow.NewAssembler(flow.Config{}, newRunner, func(mt flow.Match) { seq = append(seq, mt) })
+		for _, s := range segs {
+			asm.HandleSegment(s)
+		}
+
+		var mu sync.Mutex
+		var conc []Match
+		// Watermarks above 1.0 keep the degradation ladder disengaged:
+		// ladder drops are correct behavior but would fail the
+		// byte-equivalence check this fuzz target is about.
+		e := New(Config{Shards: 4, QueueDepth: 64, SoftWatermark: 1.1, HardWatermark: 1.2}, newRunner, func(mt Match) {
+			mu.Lock()
+			conc = append(conc, mt)
+			mu.Unlock()
+		})
+		for _, s := range segs {
+			if err := e.HandleSegment(s); err != nil {
+				t.Fatalf("HandleSegment: %v", err)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		want, got := flowMatches(seq), flowMatches(conc)
+		if len(want) != len(got) {
+			t.Fatalf("flows with matches: sequential %d, engine %d", len(want), len(got))
+		}
+		for k, w := range want {
+			g := got[k]
+			if len(g) != len(w) {
+				t.Fatalf("flow %v: sequential %v, engine %v", k, w, g)
+			}
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("flow %v: sequential %v, engine %v", k, w, g)
+				}
+			}
+		}
+	})
+}

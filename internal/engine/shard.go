@@ -1,0 +1,200 @@
+// Shard worker loop and fault supervision.
+//
+// Each shard goroutine is a supervisor around its flow.Assembler. The
+// failure model follows from the paper's flow independence: per-flow
+// matching state is a tiny private (q, m) context, so a panic raised
+// while scanning one flow's bytes implicates only that flow — the
+// assembler's shared structures (flow map, LRU list) are never
+// mid-mutation at the points user-supplied matcher code runs. Recovery
+// is therefore two-tier:
+//
+//  1. Quarantine: the offending flow's context is excised (its runner is
+//     not recycled — the state is suspect) and its key is blacklisted, so
+//     later segments of the same flow are drop-counted instead of
+//     re-triggering the fault. All other flows on the shard keep their
+//     exact match state.
+//  2. Rebuild: if excision itself panics, the assembler's invariants are
+//     broken beyond one flow; the shard discards it, counts the lost
+//     flows, and rebuilds a fresh assembler, preserving cumulative
+//     counters across the swap.
+//
+// A shard that keeps panicking is burning CPU on a hostile input or a
+// real matcher bug; after CrashBudget recovered panics it is marked
+// unhealthy and its segments are drop-counted (never crashing the
+// engine), keeping the other shards' service intact.
+package engine
+
+import (
+	"sync/atomic"
+
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+)
+
+// shard is one goroutine's private scanning lane.
+type shard struct {
+	idx int
+	in  chan pcap.Segment
+	asm *flow.Assembler
+	// rebuild constructs a fresh assembler wired to this shard's match
+	// counter — the recovery path of last resort.
+	rebuild func() *flow.Assembler
+	// base accumulates counters from assemblers discarded by rebuilds so
+	// published stats stay monotonic across a restart.
+	base flow.Stats
+	// quarantined holds poisoned flow keys; only the shard goroutine
+	// touches it.
+	quarantined map[pcap.FlowKey]struct{}
+
+	// matches is updated on every confirmed match; snap mirrors the
+	// assembler's counters every statsEvery segments and at exit, so
+	// outside observers never touch the assembler itself.
+	matches atomic.Int64
+	snap    atomic.Pointer[flow.Stats]
+
+	// processed counts segments consumed from the queue (scanned or
+	// drop-counted); with len(in) it gives drain progress. exited flips
+	// when the goroutine returns.
+	processed atomic.Int64
+	exited    atomic.Bool
+
+	// Supervision counters.
+	panics         atomic.Int64
+	poisoned       atomic.Int64
+	poisonedDrops  atomic.Int64
+	restarts       atomic.Int64
+	lostFlows      atomic.Int64
+	unhealthy      atomic.Bool
+	unhealthyDrops atomic.Int64
+}
+
+// statsEvery is how often (in segments) a shard refreshes its published
+// stats snapshot. Snapshots are therefore at most this stale while the
+// engine runs; Close publishes a final exact snapshot.
+const statsEvery = 64
+
+func (s *shard) publish() {
+	st := s.asm.Stats()
+	st.Packets += s.base.Packets
+	st.PayloadBytes += s.base.PayloadBytes
+	st.OutOfOrder += s.base.OutOfOrder
+	st.DroppedSegs += s.base.DroppedSegs
+	st.SkippedFrames += s.base.SkippedFrames
+	st.FlowsTotal += s.base.FlowsTotal
+	st.EvictedCap += s.base.EvictedCap
+	st.EvictedIdle += s.base.EvictedIdle
+	st.RunnersReused += s.base.RunnersReused
+	s.snap.Store(&st)
+}
+
+func (s *shard) run(e *Engine) {
+	defer func() {
+		s.exited.Store(true)
+		s.publish()
+		e.wg.Done()
+	}()
+	cfg := &e.cfg
+	normalBuf := s.asm.MaxBuffered()
+	degradedBuf := normalBuf / 8
+	if degradedBuf < 4 {
+		degradedBuf = 4
+	}
+	appliedTier := TierNormal
+	var n int64
+	for seg := range s.in {
+		n++
+		if n%statsEvery == 0 {
+			s.publish()
+			// Shards re-evaluate pressure too, so the ladder steps back
+			// down as queues drain even when dispatch has gone quiet.
+			e.evalPressure()
+		}
+		s.processed.Add(1)
+		if s.unhealthy.Load() {
+			s.unhealthyDrops.Add(1)
+			continue
+		}
+		if _, bad := s.quarantined[seg.Key]; bad {
+			s.poisonedDrops.Add(1)
+			continue
+		}
+		if tier := Tier(e.tier.Load()); tier != appliedTier {
+			if tier >= TierSoft && appliedTier == TierNormal {
+				// Entering degradation: shed reassembly memory now and
+				// sweep idle flows aggressively.
+				s.asm.SetMaxBuffered(degradedBuf)
+				s.asm.EvictIdle(cfg.DegradedIdleAfter)
+			} else if tier == TierNormal {
+				s.asm.SetMaxBuffered(normalBuf)
+			}
+			appliedTier = tier
+		}
+		s.process(e, seg)
+		idleAfter, sweepEvery := cfg.IdleAfter, cfg.SweepEvery
+		if appliedTier >= TierSoft {
+			idleAfter = cfg.DegradedIdleAfter
+			if sweepEvery = cfg.SweepEvery / 8; sweepEvery < 1 {
+				sweepEvery = 1
+			}
+		}
+		if idleAfter > 0 && n%sweepEvery == 0 {
+			s.asm.EvictIdle(idleAfter)
+		}
+		// A degraded engine must be able to step back down without new
+		// dispatches: when this shard's queue runs dry, re-check pressure.
+		if appliedTier != TierNormal && len(s.in) == 0 {
+			e.evalPressure()
+		}
+	}
+}
+
+// process scans one segment under the shard's panic supervisor.
+func (s *shard) process(e *Engine, seg pcap.Segment) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.panics.Add(1)
+		s.quarantined[seg.Key] = struct{}{}
+		s.poisoned.Add(1)
+		s.excise(seg.Key)
+		s.publish()
+		if s.panics.Load() >= int64(e.cfg.CrashBudget) {
+			s.unhealthy.Store(true)
+		}
+	}()
+	s.asm.HandleSegment(seg)
+}
+
+// excise removes a poisoned flow from the assembler. If the assembler is
+// corrupt beyond that one flow — the excision itself panics — the shard
+// rebuilds a fresh assembler, carrying the old counters into base and
+// counting the innocent flows that lost their state.
+func (s *shard) excise(key pcap.FlowKey) {
+	defer func() {
+		if recover() == nil {
+			return
+		}
+		old := s.asm.Stats()
+		s.lostFlows.Add(int64(old.Flows))
+		old.Flows = 0
+		s.addBase(old)
+		s.asm = s.rebuild()
+		s.restarts.Add(1)
+	}()
+	s.asm.DropFlow(key)
+}
+
+// addBase folds a discarded assembler's counters into the shard's base.
+func (s *shard) addBase(st flow.Stats) {
+	s.base.Packets += st.Packets
+	s.base.PayloadBytes += st.PayloadBytes
+	s.base.OutOfOrder += st.OutOfOrder
+	s.base.DroppedSegs += st.DroppedSegs
+	s.base.SkippedFrames += st.SkippedFrames
+	s.base.FlowsTotal += st.FlowsTotal
+	s.base.EvictedCap += st.EvictedCap
+	s.base.EvictedIdle += st.EvictedIdle
+	s.base.RunnersReused += st.RunnersReused
+}

@@ -1,0 +1,110 @@
+// Package faultinject provides deterministic, seedable fault schedules
+// for exercising the serving stack's recovery machinery. Every recovery
+// path in internal/engine and internal/flow — flow quarantine, crash
+// budgets, degradation tiers, malformed-capture skipping — is tested by
+// injecting the corresponding fault here rather than trusted to work.
+//
+// Two families of faults:
+//
+//   - Wire faults (Injector): truncation, corruption, and reordering of
+//     raw capture frames, driven by a seeded PRNG so a failing schedule
+//     replays exactly from its seed.
+//   - Matcher faults (runner.go): flow.Runner wrappers that panic on a
+//     trigger token or after a segment count, or stall on a gate —
+//     forcing shard panics and queue-full pulses on demand.
+package faultinject
+
+import (
+	"math/rand"
+)
+
+// Config is a wire-fault schedule. Probabilities are per frame and
+// independent; zero values disable that fault.
+type Config struct {
+	// Seed makes the schedule deterministic: equal seeds and equal frame
+	// sequences produce byte-identical fault decisions.
+	Seed int64
+	// TruncateProb truncates the frame to a random strict prefix
+	// (possibly empty).
+	TruncateProb float64
+	// CorruptProb flips a random bit in a random byte.
+	CorruptProb float64
+	// ReorderProb holds the frame back and emits it after its successor.
+	// At most one frame is held at a time; a held frame is never held
+	// again.
+	ReorderProb float64
+	// DropProb discards the frame entirely.
+	DropProb float64
+}
+
+// Stats counts the faults an Injector actually applied.
+type Stats struct {
+	Frames    int64 // frames offered to the injector
+	Truncated int64
+	Corrupted int64
+	Reordered int64
+	Dropped   int64
+}
+
+// Injector applies a Config's schedule to a frame sequence.
+type Injector struct {
+	cfg  Config
+	rng  *rand.Rand
+	held [][]byte
+	st   Stats
+}
+
+// New returns an injector for the given schedule.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats reports the faults applied so far.
+func (in *Injector) Stats() Stats { return in.st }
+
+// Frame runs one frame through the schedule and returns the frames to
+// emit in its place: usually one, zero when dropped or held for
+// reordering, two when a held frame is released behind this one. The
+// returned slices alias or copy the input as needed; callers may emit
+// them directly.
+func (in *Injector) Frame(frame []byte) [][]byte {
+	in.st.Frames++
+	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
+		in.st.Dropped++
+		return in.flush(nil)
+	}
+	if in.cfg.TruncateProb > 0 && in.rng.Float64() < in.cfg.TruncateProb && len(frame) > 0 {
+		in.st.Truncated++
+		frame = frame[:in.rng.Intn(len(frame))]
+	}
+	if in.cfg.CorruptProb > 0 && in.rng.Float64() < in.cfg.CorruptProb && len(frame) > 0 {
+		in.st.Corrupted++
+		mut := make([]byte, len(frame))
+		copy(mut, frame)
+		mut[in.rng.Intn(len(mut))] ^= 1 << uint(in.rng.Intn(8))
+		frame = mut
+	}
+	if in.cfg.ReorderProb > 0 && len(in.held) == 0 && in.rng.Float64() < in.cfg.ReorderProb {
+		in.st.Reordered++
+		in.held = [][]byte{frame}
+		return nil
+	}
+	return in.flush(frame)
+}
+
+// Flush releases any held frame; call it after the last input frame so a
+// reorder at the tail is not silently dropped.
+func (in *Injector) Flush() [][]byte {
+	out := in.held
+	in.held = nil
+	return out
+}
+
+func (in *Injector) flush(frame []byte) [][]byte {
+	if frame == nil {
+		return in.Flush()
+	}
+	out := append([][]byte{frame}, in.held...)
+	in.held = nil
+	return out
+}

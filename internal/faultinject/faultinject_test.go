@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestInjectorDeterminism: equal seeds and inputs give byte-identical
+// outputs and identical stats — the property that lets a failing fuzz or
+// soak run replay exactly.
+func TestInjectorDeterminism(t *testing.T) {
+	mkFrames := func() [][]byte {
+		frames := make([][]byte, 64)
+		for i := range frames {
+			frames[i] = bytes.Repeat([]byte{byte(i)}, 20+i)
+		}
+		return frames
+	}
+	run := func() ([][]byte, Stats) {
+		in := New(Config{Seed: 7, TruncateProb: 0.2, CorruptProb: 0.2, ReorderProb: 0.2, DropProb: 0.1})
+		var out [][]byte
+		for _, f := range mkFrames() {
+			out = append(out, in.Frame(f)...)
+		}
+		out = append(out, in.Flush()...)
+		return out, in.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("output length diverges: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("frame %d diverges", i)
+		}
+	}
+	if sa.Truncated == 0 || sa.Corrupted == 0 || sa.Reordered == 0 || sa.Dropped == 0 {
+		t.Errorf("schedule applied no faults of some kind: %+v", sa)
+	}
+	if sa.Frames != 64 {
+		t.Errorf("Frames = %d, want 64", sa.Frames)
+	}
+}
+
+// TestInjectorConservation: without drops and after Flush, every frame
+// comes out exactly once (reordering permutes, never loses).
+func TestInjectorConservation(t *testing.T) {
+	in := New(Config{Seed: 3, ReorderProb: 0.5})
+	var out [][]byte
+	const total = 100
+	for i := 0; i < total; i++ {
+		out = append(out, in.Frame([]byte{byte(i)})...)
+	}
+	out = append(out, in.Flush()...)
+	if len(out) != total {
+		t.Fatalf("got %d frames out, want %d", len(out), total)
+	}
+	seen := make(map[byte]bool)
+	for _, f := range out {
+		if seen[f[0]] {
+			t.Fatalf("frame %d emitted twice", f[0])
+		}
+		seen[f[0]] = true
+	}
+}
+
+// TestInjectorCorruptionCopies: corruption must not scribble on the
+// caller's buffer (captures may reuse or alias frame storage).
+func TestInjectorCorruptionCopies(t *testing.T) {
+	in := New(Config{Seed: 1, CorruptProb: 1})
+	orig := bytes.Repeat([]byte{0xAA}, 32)
+	frame := append([]byte{}, orig...)
+	out := in.Frame(frame)
+	if !bytes.Equal(frame, orig) {
+		t.Fatal("injector mutated the caller's buffer")
+	}
+	if len(out) != 1 || bytes.Equal(out[0], orig) {
+		t.Fatal("corruption did not apply to the emitted frame")
+	}
+}
+
+// TestPanicOnStraddle: the poison token fires even when split across
+// Feed boundaries, and a clean stream never fires.
+func TestPanicOnStraddle(t *testing.T) {
+	mustPanic := func(t *testing.T, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	r := PanicOn([]byte("BOOM"), Discard)
+	r.Feed([]byte("harmless"), nil)
+	r.Feed([]byte("still harmless BO"), nil)
+	mustPanic(t, func() { r.Feed([]byte("OM lands here"), nil) })
+
+	clean := PanicOn([]byte("BOOM"), Discard)
+	for i := 0; i < 100; i++ {
+		clean.Feed([]byte(fmt.Sprintf("chunk %d BO OM", i)), nil)
+	}
+}
+
+// TestPanicAfter: fires on exactly the nth feed, and Reset does not
+// disarm it.
+func TestPanicAfter(t *testing.T) {
+	r := PanicAfter(3, Discard)
+	r.Feed([]byte("a"), nil)
+	r.Reset()
+	r.Feed([]byte("b"), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on feed 3")
+		}
+	}()
+	r.Feed([]byte("c"), nil)
+}

@@ -1,0 +1,105 @@
+// Matcher-fault wrappers: flow.Runner decorators that fail on demand.
+// They stand in for the two real-world shard killers — a matcher bug
+// tripped by hostile bytes (panic) and a matcher wedged in user code
+// (stall) — with deterministic triggers so tests can aim a fault at one
+// specific flow and assert the blast radius stops there.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+
+	"matchfilter/internal/flow"
+)
+
+// PanicOn wraps inner so that Feed panics when token appears in the
+// flow's byte stream, including when the token straddles a segment
+// boundary. Feeding the poisoned bytes to the wrapper panics before
+// inner sees them — the shard supervisor is expected to quarantine the
+// flow. A nil or empty token never fires.
+func PanicOn(token []byte, inner flow.Runner) flow.Runner {
+	return &panicOnRunner{token: token, inner: inner}
+}
+
+type panicOnRunner struct {
+	token []byte
+	inner flow.Runner
+	// tail holds the last len(token)-1 bytes seen, for straddle checks.
+	tail []byte
+}
+
+func (r *panicOnRunner) Feed(data []byte, onMatch func(int32, int64)) {
+	if len(r.token) > 0 {
+		joined := data
+		if len(r.tail) > 0 {
+			joined = append(append([]byte{}, r.tail...), data...)
+		}
+		if bytes.Contains(joined, r.token) {
+			panic(fmt.Sprintf("faultinject: poison token %q", r.token))
+		}
+		keep := len(r.token) - 1
+		if len(joined) < keep {
+			keep = len(joined)
+		}
+		r.tail = append(r.tail[:0], joined[len(joined)-keep:]...)
+	}
+	r.inner.Feed(data, onMatch)
+}
+
+func (r *panicOnRunner) Reset() {
+	r.tail = r.tail[:0]
+	r.inner.Reset()
+}
+
+// PanicAfter wraps inner so that the nth Feed call on this runner (1-based)
+// panics before delivering its data: "forced shard panic at the Nth
+// segment". The counter survives Reset so pooled reuse cannot disarm a
+// pending fault; n <= 0 never fires.
+func PanicAfter(n int, inner flow.Runner) flow.Runner {
+	return &panicAfterRunner{n: n, inner: inner}
+}
+
+type panicAfterRunner struct {
+	n     int
+	feeds int
+	inner flow.Runner
+}
+
+func (r *panicAfterRunner) Feed(data []byte, onMatch func(int32, int64)) {
+	r.feeds++
+	if r.n > 0 && r.feeds == r.n {
+		panic(fmt.Sprintf("faultinject: forced panic at feed %d", r.feeds))
+	}
+	r.inner.Feed(data, onMatch)
+}
+
+func (r *panicAfterRunner) Reset() { r.inner.Reset() }
+
+// Stall wraps inner so every Feed first blocks until gate is closed (or
+// receives). Tests use it to wedge a shard — filling its queue for
+// queue-full pulses and deadline-shutdown scenarios — then release it by
+// closing the gate.
+func Stall(gate <-chan struct{}, inner flow.Runner) flow.Runner {
+	return &stallRunner{gate: gate, inner: inner}
+}
+
+type stallRunner struct {
+	gate  <-chan struct{}
+	inner flow.Runner
+}
+
+func (r *stallRunner) Feed(data []byte, onMatch func(int32, int64)) {
+	<-r.gate
+	r.inner.Feed(data, onMatch)
+}
+
+func (r *stallRunner) Reset() { r.inner.Reset() }
+
+// Discard is a no-op Runner, the innermost layer when a test only needs
+// the fault behaviour.
+var Discard flow.Runner = discardRunner{}
+
+type discardRunner struct{}
+
+func (discardRunner) Feed([]byte, func(int32, int64)) {}
+func (discardRunner) Reset()                          {}

@@ -161,28 +161,40 @@ func NewProgramRegs(numIDs, memBits, numRegs int) *Program {
 	}
 }
 
-// SetAction installs the action for an internal match id. It panics on an
-// out-of-range id or memory bit: the splitter allocates both, so a bad
-// value is a construction bug, not an input error.
-func (p *Program) SetAction(id int32, a Action) {
+// CheckAction validates an action against the program's dimensions and
+// returns a descriptive error naming the offending field. It is the
+// shared validator behind SetAction (which panics, for construction-time
+// bugs) and decoding (which returns errors, for untrusted input).
+func (p *Program) CheckAction(id int32, a Action) error {
 	if id <= 0 || int(id) >= len(p.actions) {
-		panic(fmt.Sprintf("filter: action id %d out of range [1,%d)", id, len(p.actions)))
+		return fmt.Errorf("filter: action id %d out of range [1,%d)", id, len(p.actions))
 	}
 	for _, bit := range []int16{a.Test, a.Set, a.Clear} {
 		if bit != NoBit && (bit < 0 || int(bit) >= p.memBits) {
-			panic(fmt.Sprintf("filter: memory bit %d out of range [0,%d)", bit, p.memBits))
+			return fmt.Errorf("filter: action %d: memory bit %d out of range [0,%d)", id, bit, p.memBits)
 		}
 	}
 	for _, reg := range []int16{a.SetPos, a.GapReg} {
 		if reg != NoReg && (reg < 1 || int(reg) > p.numRegs) {
-			panic(fmt.Sprintf("filter: register %d out of range [1,%d]", reg, p.numRegs))
+			return fmt.Errorf("filter: action %d: register %d out of range [1,%d]", id, reg, p.numRegs)
 		}
 	}
 	if a.GapReg != NoReg && a.MinGap < 1 {
-		panic(fmt.Sprintf("filter: gap action needs MinGap >= 1, got %d", a.MinGap))
+		return fmt.Errorf("filter: action %d: gap action needs MinGap >= 1, got %d", id, a.MinGap)
 	}
 	if a.ClearGroup < 0 || int(a.ClearGroup) > len(p.clearGroups) {
-		panic(fmt.Sprintf("filter: clear group %d out of range [0,%d]", a.ClearGroup, len(p.clearGroups)))
+		return fmt.Errorf("filter: action %d: clear group %d out of range [0,%d]", id, a.ClearGroup, len(p.clearGroups))
+	}
+	return nil
+}
+
+// SetAction installs the action for an internal match id. It panics on an
+// out-of-range id or memory bit: the splitter allocates both, so a bad
+// value is a construction bug, not an input error. Untrusted inputs go
+// through CheckAction instead.
+func (p *Program) SetAction(id int32, a Action) {
+	if err := p.CheckAction(id, a); err != nil {
+		panic(err.Error())
 	}
 	p.actions[id] = a
 }

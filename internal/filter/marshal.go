@@ -146,26 +146,20 @@ func ReadProgram(r io.Reader) (*Program, error) {
 		p.clearGroups = append(p.clearGroups, ops)
 	}
 
-	// Install actions through SetAction so all invariants are rechecked;
-	// convert its panics into decode errors.
-	var err error
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				err = fmt.Errorf("%w: %v", ErrBadFormat, rec)
-			}
-		}()
-		for id := 1; id < int(numIDs); id++ {
-			rec := records[id]
-			p.SetAction(int32(id), Action{
-				Test: rec.Test, Set: rec.Set, Clear: rec.Clear,
-				SetPos: rec.SetPos, GapReg: rec.GapReg,
-				MinGap: rec.MinGap, Report: rec.Report, ClearGroup: rec.ClearGroup,
-			})
+	// Validate every action eagerly against the decoded dimensions —
+	// corrupt data surfaces as a descriptive decode error naming the
+	// offending action and field, not a recovered panic.
+	for id := 1; id < int(numIDs); id++ {
+		rec := records[id]
+		a := Action{
+			Test: rec.Test, Set: rec.Set, Clear: rec.Clear,
+			SetPos: rec.SetPos, GapReg: rec.GapReg,
+			MinGap: rec.MinGap, Report: rec.Report, ClearGroup: rec.ClearGroup,
 		}
-	}()
-	if err != nil {
-		return nil, err
+		if err := p.CheckAction(int32(id), a); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		p.actions[id] = a
 	}
 	return p, nil
 }

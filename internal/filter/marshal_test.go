@@ -1,0 +1,134 @@
+package filter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildProgram constructs a program with every action feature in use.
+func buildProgram(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgramRegs(8, 70, 2) // 70 bits: exercises the 2-word mask path
+	g := p.AddClearGroup([]int16{0, 3, 64, 69})
+	p.SetAction(1, Action{Test: NoBit, Set: 0, Clear: NoBit})
+	p.SetAction(2, Action{Test: 0, Set: NoBit, Clear: NoBit, Report: 7})
+	p.SetAction(3, Action{Test: NoBit, Set: NoBit, Clear: 69})
+	p.SetAction(4, Action{Test: NoBit, Set: NoBit, Clear: NoBit, SetPos: 1})
+	p.SetAction(5, Action{Test: NoBit, Set: NoBit, Clear: NoBit, GapReg: 1, MinGap: 12, Report: 9})
+	p.SetAction(6, Action{Test: NoBit, Set: NoBit, Clear: NoBit, ClearGroup: g})
+	return p
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := buildProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.actions) != len(p.actions) || q.memBits != p.memBits || q.numRegs != p.numRegs {
+		t.Fatalf("dimensions: got (%d,%d,%d), want (%d,%d,%d)",
+			len(q.actions), q.memBits, q.numRegs, len(p.actions), p.memBits, p.numRegs)
+	}
+	for id := range p.actions {
+		if p.actions[id] != q.actions[id] {
+			t.Errorf("action %d: got %+v, want %+v", id, q.actions[id], p.actions[id])
+		}
+	}
+	if len(q.clearGroups) != len(p.clearGroups) {
+		t.Fatalf("clear groups: %d vs %d", len(q.clearGroups), len(p.clearGroups))
+	}
+	for g := range p.clearGroups {
+		if len(q.clearGroups[g]) != len(p.clearGroups[g]) {
+			t.Fatalf("group %d op count", g)
+		}
+		for i := range p.clearGroups[g] {
+			if p.clearGroups[g][i] != q.clearGroups[g][i] {
+				t.Errorf("group %d op %d: %+v vs %+v", g, i, q.clearGroups[g][i], p.clearGroups[g][i])
+			}
+		}
+	}
+}
+
+// corrupt writes v little-endian at off in a copy of data.
+func corrupt(data []byte, off int, v int16) []byte {
+	out := append([]byte{}, data...)
+	binary.LittleEndian.PutUint16(out[off:], uint16(v))
+	return out
+}
+
+// TestDecodeValidatesEagerly: each corrupted action field is rejected
+// with a descriptive ErrBadFormat error that names the offending action
+// — not a recovered panic, not a silent acceptance.
+func TestDecodeValidatesEagerly(t *testing.T) {
+	p := buildProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Layout: magic(7) + header(12) + records(24 bytes each, id 0 first):
+	// 5×int16 + pad + MinGap(4) + Report(4) + ClearGroup(4).
+	const recBase = 7 + 12
+	const recSize = 24
+	rec := func(id int) int { return recBase + id*recSize }
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring expected in the error
+	}{
+		{"bad test bit", corrupt(data, rec(1)+0, 70), "memory bit 70"},
+		{"bad set bit", corrupt(data, rec(1)+2, -5), "memory bit -5"},
+		{"bad clear bit", corrupt(data, rec(3)+4, 1000), "memory bit 1000"},
+		{"bad setpos register", corrupt(data, rec(4)+6, 3), "register 3"},
+		{"bad gap register", corrupt(data, rec(5)+8, -2), "register -2"},
+		{"bad clear group", func() []byte {
+			out := append([]byte{}, data...)
+			binary.LittleEndian.PutUint32(out[rec(6)+20:], 99)
+			return out
+		}(), "clear group 99"},
+		{"gap without mingap", func() []byte {
+			out := append([]byte{}, data...)
+			binary.LittleEndian.PutUint32(out[rec(5)+12:], 0) // MinGap = 0
+			return out
+		}(), "MinGap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadProgram(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt program decoded without error")
+			}
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("err = %v, not ErrBadFormat", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q does not name the corruption (%q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncated: cutting the stream at any byte yields a clean
+// error, never a panic.
+func TestDecodeTruncated(t *testing.T) {
+	p := buildProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadProgram(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(data))
+		}
+	}
+}

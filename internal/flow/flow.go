@@ -216,6 +216,53 @@ func (a *Assembler) removeFlow(ctx *flowCtx) {
 	ctx.runner = nil
 }
 
+// DropFlow forgets a flow without recycling its runner. This is the
+// quarantine path: after a runner panic the context may be mid-mutation,
+// so the runner must not re-enter the pool where a future flow would
+// inherit its corrupt state. Returns false if the flow is unknown.
+//
+// DropFlow is safe to call after a panic escaped HandleSegment: the
+// assembler mutates its flow map and LRU list only before it calls into
+// the runner, so those structures are consistent at every point a
+// user-supplied Feed can panic.
+func (a *Assembler) DropFlow(key pcap.FlowKey) bool {
+	ctx, ok := a.flows[key]
+	if !ok {
+		return false
+	}
+	delete(a.flows, key)
+	a.lru.Remove(ctx.elem)
+	ctx.runner = nil // do NOT pool: state is suspect
+	return true
+}
+
+// SetMaxBuffered adjusts the per-flow out-of-order buffer cap at runtime
+// and eagerly trims every flow's pending set down to the new cap (oldest
+// first, counted in Stats.DroppedSegs). The degradation ladder uses this
+// to shed reassembly memory under pressure; passing the original cap
+// restores normal buffering (already-trimmed segments stay dropped).
+func (a *Assembler) SetMaxBuffered(n int) {
+	if n <= 0 {
+		n = 64
+	}
+	shrink := n < a.cfg.MaxBufferedSegments
+	a.cfg.MaxBufferedSegments = n
+	if !shrink {
+		return
+	}
+	for _, ctx := range a.flows {
+		for len(ctx.order) > n {
+			oldest := ctx.order[0]
+			ctx.order = ctx.order[1:]
+			delete(ctx.pending, oldest)
+			a.droppedSegs++
+		}
+	}
+}
+
+// MaxBuffered reports the current per-flow out-of-order buffer cap.
+func (a *Assembler) MaxBuffered() int { return a.cfg.MaxBufferedSegments }
+
 // evictOldest reclaims the least-recently-seen flow to make room under
 // MaxFlows.
 func (a *Assembler) evictOldest() {

@@ -186,16 +186,22 @@ func TestRunnerRecycledThroughPool(t *testing.T) {
 	allocs := 0
 	a := NewAssembler(Config{}, func() Runner { allocs++; return m.NewRunner() }, nil)
 
-	k := key(8)
-	a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
-	a.HandleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
-	// A new flow reuses the torn-down flow's runner instead of allocating.
-	a.HandleSegment(pcap.Segment{Key: key(9), Seq: 1, Flags: pcap.FlagACK, Payload: []byte("xy")})
-	if allocs != 1 {
-		t.Errorf("allocs = %d, want 1 (second flow should come from the pool)", allocs)
+	// Tear down and recreate flows repeatedly. The assertion is
+	// statistical rather than exact-count because sync.Pool deliberately
+	// drops a fraction of items under the race detector; across this many
+	// cycles at least one reuse is certain on both build modes.
+	const cycles = 32
+	for i := 0; i < cycles; i++ {
+		k := key(100 + i)
+		a.HandleSegment(pcap.Segment{Key: k, Seq: 1, Flags: pcap.FlagACK, Payload: []byte("ab")})
+		a.HandleSegment(pcap.Segment{Key: k, Seq: 3, Flags: pcap.FlagFIN})
 	}
-	if st := a.Stats(); st.RunnersReused != 1 {
-		t.Errorf("stats: %+v", st)
+	st := a.Stats()
+	if st.RunnersReused == 0 {
+		t.Errorf("no runner reuse across %d teardown/recreate cycles: %+v", cycles, st)
+	}
+	if int64(allocs)+st.RunnersReused != cycles {
+		t.Errorf("allocs %d + reused %d != %d flows", allocs, st.RunnersReused, cycles)
 	}
 }
 

@@ -26,10 +26,28 @@ const LinkTypeEthernet = 1
 // never truncated.
 const SnapLen = 65535
 
-// Errors returned by the reader.
+// Typed errors for malformed captures. Hostile or damaged input is an
+// expected condition for a DPI front-end, so every parse failure is a
+// typed, wrapped error — never a panic — and callers can distinguish
+// "skip this record and keep going" from "the stream is unusable".
 var (
-	ErrBadMagic    = errors.New("pcap: unrecognized magic number")
+	// ErrBadMagic means the global header is not a classic pcap header;
+	// the stream is unusable.
+	ErrBadMagic = errors.New("pcap: unrecognized magic number")
+	// ErrShortHeader means the global header was truncated; the stream
+	// is unusable.
 	ErrShortHeader = errors.New("pcap: truncated header")
+	// ErrBadLinkType means the capture's link type is not Ethernet, the
+	// only framing this package decodes.
+	ErrBadLinkType = errors.New("pcap: unsupported link type")
+	// ErrTruncatedFrame wraps any frame cut short of its declared or
+	// minimum length — a truncated record body at end of stream, or an
+	// Ethernet/IPv4/TCP frame shorter than its headers claim.
+	ErrTruncatedFrame = errors.New("pcap: truncated frame")
+	// ErrBadRecord wraps a per-packet record header whose fields are
+	// implausible (e.g. a multi-gigabyte length); the stream cannot be
+	// resynchronized past it.
+	ErrBadRecord = errors.New("pcap: bad packet record")
 )
 
 // Packet is one captured frame with its capture timestamp.
@@ -105,6 +123,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:]))
 	}
 	pr.linkType = pr.byteOrder.Uint32(hdr[20:])
+	if pr.linkType != LinkTypeEthernet {
+		return nil, fmt.Errorf("%w: %d (only Ethernet/%d is supported)", ErrBadLinkType, pr.linkType, LinkTypeEthernet)
+	}
 	return pr, nil
 }
 
@@ -118,15 +139,15 @@ func (pr *Reader) Next() (Packet, error) {
 		if errors.Is(err, io.EOF) {
 			return Packet{}, io.EOF
 		}
-		return Packet{}, fmt.Errorf("%w: %v", ErrShortHeader, err)
+		return Packet{}, fmt.Errorf("%w: packet record header: %v", ErrTruncatedFrame, err)
 	}
 	inclLen := pr.byteOrder.Uint32(hdr[8:])
 	if inclLen > 16*1024*1024 {
-		return Packet{}, fmt.Errorf("pcap: implausible packet length %d", inclLen)
+		return Packet{}, fmt.Errorf("%w: implausible packet length %d", ErrBadRecord, inclLen)
 	}
 	data := make([]byte, inclLen)
 	if _, err := io.ReadFull(pr.r, data); err != nil {
-		return Packet{}, fmt.Errorf("pcap: truncated packet: %w", err)
+		return Packet{}, fmt.Errorf("%w: packet body: %v", ErrTruncatedFrame, err)
 	}
 	return Packet{
 		TsSec:  pr.byteOrder.Uint32(hdr[0:]),

@@ -195,3 +195,93 @@ func TestSynthesizeDeterministic(t *testing.T) {
 		t.Error("synthesis must be deterministic in seed")
 	}
 }
+
+// TestTypedDecodeErrors pins the malformed-input contract: every way a
+// frame can be cut short or lie about its own lengths yields a wrapped
+// ErrTruncatedFrame (and never a panic), while non-TCP traffic stays
+// distinguishable as ErrNotTCP.
+func TestTypedDecodeErrors(t *testing.T) {
+	k := FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+	good := EncodeTCP(k, 1, FlagACK, []byte("payload"))
+	if _, err := DecodeTCP(good); err != nil {
+		t.Fatalf("control frame failed to decode: %v", err)
+	}
+
+	truncated := [][]byte{
+		good[:5],                           // short ethernet
+		good[:etherHdrLen+3],               // short IPv4
+		good[:etherHdrLen+ipv4MinHdrLen+2], // short TCP
+	}
+	for i, f := range truncated {
+		if _, err := DecodeTCP(f); !errors.Is(err, ErrTruncatedFrame) {
+			t.Errorf("truncation %d: err = %v, want ErrTruncatedFrame", i, err)
+		}
+	}
+
+	// Header fields inconsistent with the actual byte count.
+	badIHL := append([]byte{}, good...)
+	badIHL[etherHdrLen] = 0x4f // IHL 60 > frame
+	if _, err := DecodeTCP(badIHL); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("bad IHL: err = %v, want ErrTruncatedFrame", err)
+	}
+	badLen := append([]byte{}, good...)
+	badLen[etherHdrLen+2] = 0xff // IPv4 total length beyond frame
+	badLen[etherHdrLen+3] = 0xff
+	if _, err := DecodeTCP(badLen); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("bad total length: err = %v, want ErrTruncatedFrame", err)
+	}
+	badOff := append([]byte{}, good...)
+	badOff[etherHdrLen+ipv4MinHdrLen+12] = 0xf0 // TCP data offset 60 > segment
+	if _, err := DecodeTCP(badOff); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("bad data offset: err = %v, want ErrTruncatedFrame", err)
+	}
+
+	notTCP := append([]byte{}, good...)
+	notTCP[etherHdrLen+9] = 17 // UDP
+	if _, err := DecodeTCP(notTCP); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("UDP: err = %v, want ErrNotTCP", err)
+	}
+}
+
+// TestReaderTypedErrors pins the record-level contract: bad link types,
+// implausible record lengths, and truncated record bodies each surface
+// as their typed error.
+func TestReaderTypedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(Packet{Data: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	capture := buf.Bytes()
+
+	// Non-Ethernet link type is refused up front.
+	badLink := append([]byte{}, capture...)
+	badLink[20] = 101 // LINKTYPE_RAW
+	if _, err := NewReader(bytes.NewReader(badLink)); !errors.Is(err, ErrBadLinkType) {
+		t.Errorf("bad link type: err = %v, want ErrBadLinkType", err)
+	}
+
+	// Record body cut short mid-stream.
+	short := capture[:len(capture)-2]
+	r, err := NewReader(bytes.NewReader(short))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("truncated body: err = %v, want ErrTruncatedFrame", err)
+	}
+
+	// Implausible record length cannot be resynchronized.
+	huge := append([]byte{}, capture...)
+	huge[24+8] = 0xff // inclLen low byte (LE) — make it ~4 GB
+	huge[24+9] = 0xff
+	huge[24+10] = 0xff
+	huge[24+11] = 0xff
+	r, err = NewReader(bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("implausible length: err = %v, want ErrBadRecord", err)
+	}
+}

@@ -53,40 +53,41 @@ const (
 )
 
 // DecodeTCP parses an Ethernet frame into a TCP segment. It returns
-// ErrNotTCP (wrapped) for ARP, IPv6, UDP and other non-TCP frames and a
-// descriptive error for truncated ones.
+// ErrNotTCP (wrapped) for ARP, IPv6, UDP and other non-TCP frames, and
+// ErrTruncatedFrame (wrapped) for frames cut short of or inconsistent
+// with their own headers — never a panic, whatever the bytes.
 func DecodeTCP(frame []byte) (Segment, error) {
 	if len(frame) < etherHdrLen {
-		return Segment{}, fmt.Errorf("pcap: short ethernet frame (%d bytes)", len(frame))
+		return Segment{}, fmt.Errorf("%w: short ethernet frame (%d bytes)", ErrTruncatedFrame, len(frame))
 	}
 	if binary.BigEndian.Uint16(frame[12:]) != etherTypeIPv4 {
 		return Segment{}, fmt.Errorf("%w: ethertype %#04x", ErrNotTCP, binary.BigEndian.Uint16(frame[12:]))
 	}
 	ip := frame[etherHdrLen:]
 	if len(ip) < ipv4MinHdrLen {
-		return Segment{}, errors.New("pcap: short IPv4 header")
+		return Segment{}, fmt.Errorf("%w: short IPv4 header (%d bytes)", ErrTruncatedFrame, len(ip))
 	}
 	if ip[0]>>4 != 4 {
 		return Segment{}, fmt.Errorf("%w: IP version %d", ErrNotTCP, ip[0]>>4)
 	}
 	ihl := int(ip[0]&0x0f) * 4
 	if ihl < ipv4MinHdrLen || len(ip) < ihl {
-		return Segment{}, fmt.Errorf("pcap: bad IHL %d", ihl)
+		return Segment{}, fmt.Errorf("%w: bad IHL %d for %d bytes", ErrTruncatedFrame, ihl, len(ip))
 	}
 	if ip[9] != protoTCP {
 		return Segment{}, fmt.Errorf("%w: protocol %d", ErrNotTCP, ip[9])
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:]))
 	if totalLen < ihl || totalLen > len(ip) {
-		return Segment{}, fmt.Errorf("pcap: bad IPv4 total length %d", totalLen)
+		return Segment{}, fmt.Errorf("%w: bad IPv4 total length %d for %d bytes", ErrTruncatedFrame, totalLen, len(ip))
 	}
 	tcp := ip[ihl:totalLen]
 	if len(tcp) < tcpMinHdrLen {
-		return Segment{}, errors.New("pcap: short TCP header")
+		return Segment{}, fmt.Errorf("%w: short TCP header (%d bytes)", ErrTruncatedFrame, len(tcp))
 	}
 	dataOff := int(tcp[12]>>4) * 4
 	if dataOff < tcpMinHdrLen || dataOff > len(tcp) {
-		return Segment{}, fmt.Errorf("pcap: bad TCP data offset %d", dataOff)
+		return Segment{}, fmt.Errorf("%w: bad TCP data offset %d for %d bytes", ErrTruncatedFrame, dataOff, len(tcp))
 	}
 	return Segment{
 		Key: FlowKey{
