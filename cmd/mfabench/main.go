@@ -8,6 +8,11 @@
 //	mfabench -exp table5 -sets C7p,C8
 //	mfabench -exp fig4 -scale 0.25    # smaller traces, faster run
 //	mfabench -exp fig5 -bytes 524288
+//	mfabench -exp engine -json results.json   # machine-readable rows too
+//
+// -json writes the raw measurement rows of the row-producing experiments
+// (fig4, fig5, active, engine) as one JSON document ("-" for stdout) in
+// addition to the printed tables.
 package main
 
 import (
@@ -36,6 +41,7 @@ func run() error {
 	bytesN := flag.Int("bytes", 1<<20, "stream length per measurement for fig5")
 	seed := flag.Int64("seed", 1, "seed for fig5 traffic")
 	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts for the engine experiment")
+	jsonOut := flag.String("json", "", "also write raw measurement rows as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	var sets []string
@@ -45,6 +51,7 @@ func run() error {
 
 	wants := func(name string) bool { return *exp == "all" || *exp == name }
 	out := os.Stdout
+	var report bench.JSONReport
 
 	if wants("table1") {
 		if err := bench.TableI(out); err != nil {
@@ -69,7 +76,7 @@ func run() error {
 	needsBuild := wants("table5") || wants("fig2") || wants("fig3") ||
 		wants("fig4") || wants("fig5") || wants("active") || wants("engine")
 	if !needsBuild {
-		return nil
+		return writeJSONReport(*jsonOut, &report)
 	}
 
 	fmt.Fprintf(out, "building engines for %s...\n", setsOrAll(sets))
@@ -99,21 +106,27 @@ func run() error {
 		fmt.Fprintln(out)
 	}
 	if wants("fig4") {
-		if _, err := bench.Figure4(out, engines, bench.DefaultTraces(*scale)); err != nil {
+		rows, err := bench.Figure4(out, engines, bench.DefaultTraces(*scale))
+		if err != nil {
 			return err
 		}
+		report.AddTraces(rows)
 		fmt.Fprintln(out)
 	}
 	if wants("fig5") {
-		if _, err := bench.Figure5(out, engines, *bytesN, *seed); err != nil {
+		rows, err := bench.Figure5(out, engines, *bytesN, *seed)
+		if err != nil {
 			return err
 		}
+		report.AddSynthetic(rows)
 		fmt.Fprintln(out)
 	}
 	if wants("active") {
-		if _, err := bench.ActiveStates(out, engines, *bytesN/4, *seed); err != nil {
+		rows, err := bench.ActiveStates(out, engines, *bytesN/4, *seed)
+		if err != nil {
 			return err
 		}
+		report.AddActiveStates(rows)
 		fmt.Fprintln(out)
 	}
 	if wants("engine") {
@@ -121,11 +134,33 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if _, err := bench.EngineScaling(out, engines, bench.EngineTrace(*scale), counts); err != nil {
+		rows, err := bench.EngineScaling(out, engines, bench.EngineTrace(*scale), counts)
+		if err != nil {
 			return err
 		}
+		report.AddEngineScaling(rows)
 	}
-	return nil
+	return writeJSONReport(*jsonOut, &report)
+}
+
+// writeJSONReport writes the accumulated rows when -json was given.
+// path "" disables, "-" selects stdout.
+func writeJSONReport(path string, report *bench.JSONReport) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return report.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseShards(s string) ([]int, error) {

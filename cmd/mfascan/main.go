@@ -6,11 +6,16 @@
 // Malformed frames and records are skipped and counted by default;
 // -strict aborts on the first one with exit code 2.
 //
+// -stats-json dumps the final scan statistics as a JSON document (to
+// stdout with "-", else to the named file) for scripted consumers; the
+// human-readable summary still goes to stdout.
+//
 // Usage:
 //
 //	mfascan -set S24 -pcap trace.pcap
 //	mfascan -rules rules.txt -raw payload.bin
 //	tracegen -set S24 -out - | mfascan -set S24 -pcap -
+//	mfascan -set C8 -pcap trace.pcap -q -stats-json stats.json
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"matchfilter/internal/patterns"
 	"matchfilter/internal/pcap"
 	"matchfilter/internal/regexparse"
+	"matchfilter/internal/telemetry"
 )
 
 const (
@@ -54,6 +60,7 @@ func run() (int, error) {
 	rawPath := flag.String("raw", "", "raw payload file to scan as one flow (- for stdin)")
 	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the summary")
+	statsJSON := flag.String("stats-json", "", "write final scan stats as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	var m *core.MFA
@@ -92,22 +99,71 @@ func run() (int, error) {
 	case *pcapPath != "" && *rawPath != "":
 		return exitError, fmt.Errorf("use either -pcap or -raw, not both")
 	case *pcapPath != "":
-		if err := scanPcap(m, sources, *pcapPath, *strict, *quiet); err != nil {
+		report, err := scanPcap(m, sources, *pcapPath, *strict, *quiet)
+		if err != nil {
 			var me *malformedError
 			if errors.As(err, &me) {
 				return exitStrict, err
 			}
 			return exitError, err
 		}
+		if err := writeStatsJSON(*statsJSON, report); err != nil {
+			return exitError, err
+		}
 		return 0, nil
 	case *rawPath != "":
-		if err := scanRaw(m, sources, *rawPath, *quiet); err != nil {
+		report, err := scanRaw(m, sources, *rawPath, *quiet)
+		if err != nil {
+			return exitError, err
+		}
+		if err := writeStatsJSON(*statsJSON, report); err != nil {
 			return exitError, err
 		}
 		return 0, nil
 	default:
 		return exitError, fmt.Errorf("one of -pcap or -raw is required")
 	}
+}
+
+// writeStatsJSON dumps the final stats through the telemetry JSON
+// writer, so every machine-readable surface in the repository formats
+// alike. path "" disables, "-" selects stdout.
+func writeStatsJSON(path string, v any) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return telemetry.WriteJSONValue(os.Stdout, v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONValue(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// pcapReport is the -stats-json document for a pcap scan: the full
+// reassembly stats plus scan-level outcomes.
+type pcapReport struct {
+	Mode string `json:"mode"` // "pcap"
+	flow.Stats
+	Matches   int64   `json:"matches"`
+	Malformed int64   `json:"malformed"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	MBPerSec  float64 `json:"mb_per_s"`
+}
+
+// rawReport is the -stats-json document for a raw single-flow scan.
+type rawReport struct {
+	Mode      string  `json:"mode"` // "raw"
+	Bytes     int64   `json:"bytes"`
+	Matches   int64   `json:"matches"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	MBPerSec  float64 `json:"mb_per_s"`
 }
 
 func openInput(path string) (io.ReadCloser, error) {
@@ -125,10 +181,10 @@ type malformedError struct{ err error }
 func (e *malformedError) Error() string { return e.err.Error() }
 func (e *malformedError) Unwrap() error { return e.err }
 
-func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) error {
+func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) (*pcapReport, error) {
 	in, err := openInput(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer in.Close()
 
@@ -146,7 +202,7 @@ func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) er
 	start := time.Now()
 	pr, err := pcap.NewReader(bufio.NewReaderSize(in, 1<<20))
 	if err != nil {
-		return &malformedError{err}
+		return nil, &malformedError{err}
 	}
 	var malformed int64
 	for {
@@ -156,7 +212,7 @@ func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) er
 		}
 		if err != nil {
 			if strict {
-				return &malformedError{err}
+				return nil, &malformedError{err}
 			}
 			// Record-level damage cannot be resynced past: count it and
 			// treat the remainder as unreadable.
@@ -166,26 +222,33 @@ func scanPcap(m *core.MFA, sources []string, path string, strict, quiet bool) er
 		}
 		if err := asm.HandleFrame(pkt.Data); err != nil {
 			if strict {
-				return &malformedError{err}
+				return nil, &malformedError{err}
 			}
 			malformed++ // malformed frame: skip and keep scanning
 		}
 	}
 	elapsed := time.Since(start)
 	stats := asm.Stats()
+	mbps := float64(stats.PayloadBytes) / (1 << 20) / elapsed.Seconds()
 	fmt.Printf("scanned %d TCP packets, %d payload bytes in %v (%.1f MB/s)\n",
-		stats.Packets, stats.PayloadBytes,
-		elapsed, float64(stats.PayloadBytes)/(1<<20)/elapsed.Seconds())
+		stats.Packets, stats.PayloadBytes, elapsed, mbps)
 	fmt.Printf("out-of-order segments: %d, dropped: %d, non-TCP frames: %d, malformed: %d\n",
 		stats.OutOfOrder, stats.DroppedSegs, stats.SkippedFrames, malformed)
 	fmt.Printf("confirmed matches: %d\n", matches)
-	return nil
+	return &pcapReport{
+		Mode:      "pcap",
+		Stats:     stats,
+		Matches:   matches,
+		Malformed: malformed,
+		ElapsedNs: elapsed.Nanoseconds(),
+		MBPerSec:  mbps,
+	}, nil
 }
 
-func scanRaw(m *core.MFA, sources []string, path string, quiet bool) error {
+func scanRaw(m *core.MFA, sources []string, path string, quiet bool) (*rawReport, error) {
 	in, err := openInput(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer in.Close()
 
@@ -210,13 +273,20 @@ func scanRaw(m *core.MFA, sources []string, path string, quiet bool) error {
 			break
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	elapsed := time.Since(start)
+	mbps := float64(total) / (1 << 20) / elapsed.Seconds()
 	fmt.Printf("scanned %d bytes in %v (%.1f MB/s), confirmed matches: %d\n",
-		total, elapsed, float64(total)/(1<<20)/elapsed.Seconds(), matches)
-	return nil
+		total, elapsed, mbps, matches)
+	return &rawReport{
+		Mode:      "raw",
+		Bytes:     total,
+		Matches:   matches,
+		ElapsedNs: elapsed.Nanoseconds(),
+		MBPerSec:  mbps,
+	}, nil
 }
 
 func loadRules(set, rulesFile string) ([]core.Rule, []string, error) {

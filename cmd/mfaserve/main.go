@@ -14,12 +14,21 @@
 // health: 0 healthy, 1 operational error, 2 strict-mode parse abort,
 // 3 at least one shard ended unhealthy.
 //
+// Observability (DESIGN.md §12): the daemon always instruments itself
+// through internal/telemetry — the periodic -stats ticker renders from a
+// registry snapshot — and -admin additionally serves the surface over
+// HTTP: /metrics (Prometheus text), /statsz (JSON engine stats),
+// /healthz (503 exactly when the exit code would be 3), /events (tail of
+// the match-event ring) and /debug/pprof. The admin server drains
+// gracefully under the same -drain-timeout bound as the engine.
+//
 // Usage:
 //
 //	mfabuild -set C8 -o c8.eng
 //	mfaserve -engine c8.eng -pcap trace.pcap -shards 8
 //	tracegen -set S24 -out - | mfaserve -set S24 -pcap - -stats 2s
 //	mfaserve -rules rules.txt -pcap - -shards 4 -max-flows 100000 -idle 500000 -drop
+//	mfaserve -set C8 -pcap - -admin 127.0.0.1:9090 & curl :9090/metrics
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"matchfilter/internal/patterns"
 	"matchfilter/internal/pcap"
 	"matchfilter/internal/regexparse"
+	"matchfilter/internal/telemetry"
 )
 
 // Exit codes: operational failures are distinguishable from input and
@@ -79,6 +89,8 @@ func run() (int, error) {
 	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	statsEvery := flag.Duration("stats", 0, "print a stats line to stderr at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the report")
+	adminAddr := flag.String("admin", "", "serve the admin HTTP surface (/metrics, /statsz, /healthz, /events, pprof) on this address, e.g. :9090 (empty = off)")
+	eventsCap := flag.Int("events", 1024, "match-event ring capacity served by /events")
 	flag.Parse()
 
 	m, sources, err := loadEngine(*engineFile, *set, *rulesFile)
@@ -104,6 +116,13 @@ func run() (int, error) {
 		mu.Unlock()
 	}
 
+	// The daemon is always instrumented: the registry drives the -stats
+	// ticker, and -admin additionally exposes it over HTTP.
+	start := time.Now()
+	reg := telemetry.NewRegistry()
+	events := telemetry.NewEventRing(*eventsCap)
+	telemetry.RegisterRuntimeMetrics(reg, start)
+
 	cfg := engine.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
@@ -113,15 +132,41 @@ func run() (int, error) {
 		CrashBudget:   *crashBudget,
 		SoftWatermark: *softMark,
 		HardWatermark: *hardMark,
+		Metrics:       reg,
+		Events:        events,
 	}
 	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
 
-	stop := make(chan struct{})
-	if *statsEvery > 0 {
-		go progressLoop(e, *statsEvery, stop)
+	var admin *telemetry.Server
+	if *adminAddr != "" {
+		a := &telemetry.Admin{
+			Registry: reg,
+			Events:   events,
+			// The health rule IS the exit-code-3 rule: a supervisor
+			// watching /healthz and one watching the exit status must
+			// agree on what "unhealthy" means.
+			Health: func() error {
+				if n := e.Stats().UnhealthyShards; n > 0 {
+					return fmt.Errorf("%d shard(s) unhealthy", n)
+				}
+				return nil
+			},
+			Statsz: func() any { return e.Stats() },
+		}
+		var err error
+		if admin, err = a.Start(*adminAddr); err != nil {
+			e.Close()
+			return exitError, err
+		}
+		fmt.Fprintf(os.Stderr, "mfaserve: admin surface on http://%s\n", admin.Addr())
 	}
 
-	start := time.Now()
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go progressLoop(reg, *statsEvery, stop)
+	}
+
+	scanStart := time.Now()
 	malformed, scanErr := feedPcap(e, in, *strict)
 
 	closeCtx := context.Background()
@@ -132,7 +177,21 @@ func run() (int, error) {
 	}
 	closeErr := e.CloseContext(closeCtx)
 	close(stop)
-	elapsed := time.Since(start)
+	elapsed := time.Since(scanStart)
+	if admin != nil {
+		// The admin surface drains under the same bound as the engine:
+		// in-flight scrapes finish, long-poll pprof profiles are cut off
+		// at the deadline (5s when no -drain-timeout was given).
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if *drainTimeout > 0 {
+			cancel()
+			shutCtx, cancel = context.WithTimeout(context.Background(), *drainTimeout)
+		}
+		if err := admin.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "mfaserve: admin shutdown: %v\n", err)
+		}
+		cancel()
+	}
 
 	st := e.Stats()
 	report(os.Stdout, st, elapsed)
@@ -193,20 +252,37 @@ func feedPcap(e *engine.Engine, in io.Reader, strict bool) (malformed int64, err
 	}
 }
 
-// progressLoop prints one stats line per tick until stop closes.
-func progressLoop(e *engine.Engine, every time.Duration, stop <-chan struct{}) {
+// progressLoop prints one stats line per tick until stop closes. The
+// line renders from a telemetry snapshot — the same numbers /metrics
+// serves — so the ticker and a scraper can never tell different
+// stories; the match rate is the delta between consecutive snapshots.
+func progressLoop(reg *telemetry.Registry, every time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
+	lastMatches := 0.0
+	lastTick := time.Now()
 	for {
 		select {
 		case <-stop:
 			return
 		case <-t.C:
-			st := e.Stats()
+			snap := reg.Snapshot()
+			now := time.Now()
+			matches := snap.Value("mfa_engine_matches_total")
+			rate := (matches - lastMatches) / now.Sub(lastTick).Seconds()
+			lastMatches, lastTick = matches, now
+			tier := engine.Tier(int32(snap.Value("mfa_engine_tier")))
 			fmt.Fprintf(os.Stderr,
-				"mfaserve: pkts=%d bytes=%d flows=%d/%d matches=%d queued=%d drops=%d tier=%s poisoned=%d\n",
-				st.Packets, st.PayloadBytes, st.FlowsLive, st.FlowsTotal,
-				st.Matches, st.QueueDepth, st.QueueDrops+st.HardDrops, st.Tier, st.PoisonedFlows)
+				"mfaserve: pkts=%.0f bytes=%.0f flows=%.0f/%.0f matches=%.0f (%.1f/s) queued=%.0f drops=%.0f tier=%s poisoned=%.0f\n",
+				snap.Value("mfa_engine_packets_total"),
+				snap.Value("mfa_engine_payload_bytes_total"),
+				snap.Value("mfa_reasm_live_flows"),
+				snap.Value("mfa_engine_flows_total"),
+				matches, rate,
+				snap.Value("mfa_engine_queue_depth"),
+				snap.Value("mfa_engine_queue_drops_total")+snap.Value("mfa_engine_hard_drops_total"),
+				tier,
+				snap.Value("mfa_engine_poisoned_flows_total"))
 		}
 	}
 }

@@ -1,0 +1,116 @@
+// Machine-readable benchmark output (-json). The tabular experiments
+// stay human-oriented; this file flattens the raw rows the experiments
+// already return into one uniform record shape so scripted consumers
+// (regression dashboards, jq one-liners in CI) never parse the tables.
+package bench
+
+import (
+	"io"
+
+	"matchfilter/internal/telemetry"
+)
+
+// JSONRow is one flattened measurement. Fields that do not apply to a
+// given experiment are omitted; every throughput-bearing row carries the
+// same four derived columns so rows are comparable across experiments.
+type JSONRow struct {
+	Experiment string `json:"experiment"`
+	Set        string `json:"set"`
+	Engine     string `json:"engine,omitempty"`
+	Trace      string `json:"trace,omitempty"`
+	// Shards is set on engine-scaling rows; 0 is the sequential
+	// flow-scanner baseline, hence the pointer (0 must still render).
+	Shards *int `json:"shards,omitempty"`
+	// PM is the Becchi traffic-difficulty knob for fig5 rows; -1 marks
+	// the uniform-random baseline trace.
+	PM *float64 `json:"p_m,omitempty"`
+
+	Bytes         int64   `json:"bytes,omitempty"`
+	ElapsedNs     int64   `json:"elapsed_ns,omitempty"`
+	NsPerByte     float64 `json:"ns_per_byte,omitempty"`
+	CyclesPerByte float64 `json:"cycles_per_byte,omitempty"`
+	MBPerSec      float64 `json:"mb_per_s,omitempty"`
+	Matches       int64   `json:"matches,omitempty"`
+
+	// Active-state analysis columns (experiment "active").
+	MeanActive float64 `json:"mean_active,omitempty"`
+	MaxActive  int     `json:"max_active,omitempty"`
+}
+
+// JSONReport accumulates rows across the experiments of one mfabench run
+// and is written as a single document by Write.
+type JSONReport struct {
+	Rows []JSONRow `json:"rows"`
+}
+
+func (r *JSONReport) throughputRow(experiment, set string, t Throughput) JSONRow {
+	return JSONRow{
+		Experiment:    experiment,
+		Set:           set,
+		Bytes:         t.Bytes,
+		ElapsedNs:     t.Elapsed.Nanoseconds(),
+		NsPerByte:     t.NsPerByte,
+		CyclesPerByte: t.CyclesPerByte,
+		MBPerSec:      t.MBps(),
+	}
+}
+
+// AddTraces appends Figure 4 rows (experiment "fig4").
+func (r *JSONReport) AddTraces(results []TraceResult) {
+	for _, tr := range results {
+		row := r.throughputRow("fig4", tr.Set, tr.Throughput)
+		row.Engine = tr.Engine.String()
+		row.Trace = tr.Trace
+		row.Matches = tr.Matches
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+// AddSynthetic appends Figure 5 rows (experiment "fig5").
+func (r *JSONReport) AddSynthetic(results []SyntheticResult) {
+	for _, sr := range results {
+		row := r.throughputRow("fig5", sr.Set, sr.Throughput)
+		row.Engine = sr.Engine.String()
+		pm := sr.PM
+		row.PM = &pm
+		row.Matches = sr.MatchEvents
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+// AddActiveStates appends active-state analysis rows (experiment
+// "active").
+func (r *JSONReport) AddActiveStates(rows []ActiveStatesRow) {
+	for _, ar := range rows {
+		r.Rows = append(r.Rows, JSONRow{
+			Experiment:    "active",
+			Set:           ar.Set,
+			Engine:        EngineNFA.String(),
+			CyclesPerByte: ar.CpB,
+			MeanActive:    ar.MeanActive,
+			MaxActive:     ar.MaxActive,
+		})
+	}
+}
+
+// AddEngineScaling appends shard-scaling rows (experiment "engine").
+// Shards 0 is the sequential flow-scanner baseline.
+func (r *JSONReport) AddEngineScaling(results []EngineScalingResult) {
+	for _, er := range results {
+		row := r.throughputRow("engine", er.Set, er.Throughput)
+		row.Engine = EngineMFA.String()
+		shards := er.Shards
+		row.Shards = &shards
+		row.Matches = er.Matches
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+// Write renders the report through the telemetry JSON writer so all
+// machine-readable surfaces in the repository format alike.
+func (r *JSONReport) Write(w io.Writer) error {
+	if r.Rows == nil {
+		r.Rows = []JSONRow{} // an empty run still yields a valid document
+	}
+	return telemetry.WriteJSONValue(w, r)
+}

@@ -15,6 +15,7 @@ import (
 
 	"matchfilter/internal/flow"
 	"matchfilter/internal/pcap"
+	"matchfilter/internal/telemetry"
 )
 
 // benchCapture builds a 32-flow interleaved capture and pre-decodes its
@@ -110,3 +111,50 @@ type nopRunner struct{}
 
 func (nopRunner) Feed(data []byte, onMatch func(int32, int64)) {}
 func (nopRunner) Reset()                                       {}
+
+// BenchmarkShardScalingInstrumented repeats the shard-scaling
+// measurement with telemetry attached — the delta against
+// BenchmarkShardScaling is the scan-path cost of instrumentation. Two
+// modes separate the per-segment cost from the per-match cost:
+//
+//   - metrics: registry only — per-segment latency observation on each
+//     shard plus atomic reassembly-gauge accounting in the assembler.
+//     This is the cost every deployment pays.
+//   - metrics+events: adds the match-event ring. The bench capture is
+//     adversarially match-dense (a match every ~130 payload bytes, salted
+//     with the patterns' own literals), so this mode bounds the per-event
+//     cost from above; realistic traffic with rare true matches pays the
+//     metrics-only figure.
+//
+// EXPERIMENTS.md ("Instrumentation overhead") records the measured
+// numbers; the budget for the always-on metrics mode is <= 3%.
+func BenchmarkShardScalingInstrumented(b *testing.B) {
+	m := buildMFA(b, "attack.*payload", "evil[^\n]*string", "xmrig")
+	segs, payload := benchCapture(b)
+	for _, mode := range []string{"metrics", "metrics+events"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				b.SetBytes(payload)
+				for i := 0; i < b.N; i++ {
+					cfg := Config{
+						Shards:     shards,
+						QueueDepth: 4096,
+						Metrics:    telemetry.NewRegistry(),
+					}
+					if mode == "metrics+events" {
+						cfg.Events = telemetry.NewEventRing(1024)
+					}
+					e := New(cfg, func() flow.Runner { return m.NewRunner() }, nil)
+					for _, seg := range segs {
+						if err := e.HandleSegment(seg); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := e.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"matchfilter/internal/flow"
 	"matchfilter/internal/pcap"
+	"matchfilter/internal/telemetry"
 )
 
 // Match is one confirmed match attributed to a flow (alias of
@@ -97,6 +98,18 @@ type Config struct {
 	// while at or above the soft tier. 0 means IdleAfter/4 when idle
 	// sweeping is configured, else 1024.
 	DegradedIdleAfter int64
+	// Metrics, when non-nil, receives the engine's telemetry: callback
+	// counters/gauges bridging the Stats counters, shared reassembly
+	// gauges, and per-shard scan-latency histograms (the one metric the
+	// hot path pays for directly — two monotonic clock reads and a
+	// histogram observe per scanned segment; see EXPERIMENTS.md for the
+	// measured overhead). The registry must not already hold metrics
+	// from another engine: series names would collide.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives every confirmed match as a bounded
+	// ring entry (flow key, pattern id, byte offset) for the admin
+	// /events endpoint. May be shared with other writers.
+	Events *telemetry.EventRing
 }
 
 func (c *Config) setDefaults() {
@@ -170,6 +183,11 @@ type Engine struct {
 // per-flow state they return need not be). onMatch may be nil.
 func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine {
 	cfg.setDefaults()
+	if cfg.Metrics != nil {
+		// Shared exact reassembly gauges: every shard's assembler feeds
+		// the same three atomics (flow.Gauges composes by addition).
+		cfg.Flow.Gauges = registerFlowGauges(cfg.Metrics)
+	}
 	e := &Engine{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
@@ -187,14 +205,28 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 	if e.evalEvery > 256 {
 		e.evalEvery = 256
 	}
+	events := cfg.Events
 	for i := range e.shards {
 		s := &shard{
 			idx:         i,
 			in:          make(chan pcap.Segment, cfg.QueueDepth),
 			quarantined: make(map[pcap.FlowKey]struct{}),
+			evClock:     events != nil,
 		}
+		// Matches fire on the shard goroutine only, so the one-entry
+		// flow-string cache below needs no lock. Match-dense flows hit it
+		// on every event after the first; formatting the key is the
+		// dominant per-event cost otherwise.
+		var lastKey pcap.FlowKey
+		var lastFlow string
 		shardMatch := func(m Match) {
 			s.matches.Add(1)
+			if events != nil {
+				if m.Flow != lastKey || lastFlow == "" {
+					lastKey, lastFlow = m.Flow, m.Flow.String()
+				}
+				events.Add(telemetry.Event{TimeUnixNano: s.evNano, Flow: lastFlow, Pattern: m.ID, Offset: m.Pos})
+			}
 			if onMatch != nil {
 				onMatch(m)
 			}
@@ -205,6 +237,14 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		s.asm = s.rebuild()
 		s.publish()
 		e.shards[i] = s
+	}
+	if cfg.Metrics != nil {
+		// Register before the shard goroutines start: registration also
+		// hands each shard its scan-latency histogram, and the goroutine
+		// launch below is the publication barrier for that write.
+		e.registerMetrics(cfg.Metrics)
+	}
+	for _, s := range e.shards {
 		e.wg.Add(1)
 		go s.run(e)
 	}

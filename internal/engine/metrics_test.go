@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"testing"
+
+	"matchfilter/internal/faultinject"
+	"matchfilter/internal/flow"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/telemetry"
+)
+
+// TestTierGaugeTracksLadder drives the soft/hard watermark ladder the
+// way fault_test.go does — a stalled shard filling its bounded queue —
+// and asserts at every rung that the telemetry gauge, the tier-enter
+// counters, and engine.Stats agree. The gauge is the live serving
+// signal; Stats is the source of truth; they must never diverge.
+func TestTierGaugeTracksLadder(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gate := make(chan struct{})
+	e := New(Config{Shards: 1, QueueDepth: 8, Metrics: reg},
+		func() flow.Runner { return faultinject.Stall(gate, faultinject.Discard) }, nil)
+	k := pcap.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+
+	tierGauge := func() Tier {
+		return Tier(int32(reg.Snapshot().Value("mfa_engine_tier")))
+	}
+	enters := func(tier Tier) float64 {
+		m, ok := reg.Snapshot().Get("mfa_engine_tier_enters_total", telemetry.L("tier", tier.String()))
+		if !ok {
+			t.Fatalf("no tier_enters series for %v", tier)
+		}
+		return m.Value
+	}
+
+	if got := tierGauge(); got != TierNormal {
+		t.Fatalf("initial tier gauge = %v, want normal", got)
+	}
+
+	// Wedge the shard and push until the hard watermark trips (dispatch
+	// then drops instead of blocking, so this loop cannot strand).
+	const total = 40
+	for i := 0; i < total; i++ {
+		if err := e.HandleSegment(pcap.Segment{Key: k, Seq: uint32(1 + i), Flags: pcap.FlagACK, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Tier != TierHard {
+		t.Fatalf("Stats.Tier = %v with a wedged full queue, want hard", st.Tier)
+	}
+	if got := tierGauge(); got != TierHard {
+		t.Errorf("tier gauge = %v while Stats.Tier = %v", got, st.Tier)
+	}
+	for tier := TierNormal; tier <= TierHard; tier++ {
+		if got, want := enters(tier), float64(st.TierEnters[tier]); got != want {
+			t.Errorf("tier_enters_total{tier=%q} = %v, Stats.TierEnters = %v", tier, got, want)
+		}
+	}
+	if hd := reg.Snapshot().Value("mfa_engine_hard_drops_total"); hd != float64(st.HardDrops) || hd == 0 {
+		t.Errorf("hard_drops_total = %v, Stats.HardDrops = %d (want equal, nonzero)", hd, st.HardDrops)
+	}
+
+	// Unwedge and drain: the ladder steps back down and the gauge follows.
+	close(gate)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Tier != TierNormal {
+		t.Fatalf("Stats.Tier = %v after drain, want normal", st.Tier)
+	}
+	if got := tierGauge(); got != TierNormal {
+		t.Errorf("tier gauge = %v after drain, want normal", got)
+	}
+	for tier := TierNormal; tier <= TierHard; tier++ {
+		if got, want := enters(tier), float64(st.TierEnters[tier]); got != want {
+			t.Errorf("after drain: tier_enters_total{tier=%q} = %v, Stats.TierEnters = %v", tier, got, want)
+		}
+	}
+	// Time spent at the hard tier must be accounted in the seconds
+	// counter too (Stats proved TierTime > 0 in fault_test.go).
+	hardSecs, ok := reg.Snapshot().Get("mfa_engine_tier_seconds_total", telemetry.L("tier", "hard"))
+	if !ok || hardSecs.Value <= 0 {
+		t.Errorf("tier_seconds_total{tier=hard} = %+v, want > 0", hardSecs)
+	}
+}
+
+// TestMetricsMirrorStats scans real traffic through an instrumented
+// engine and checks the bridged counters, the exact reassembly gauges,
+// the per-shard histograms, and the event ring against the final (exact)
+// Stats snapshot.
+func TestMetricsMirrorStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(16)
+	m := buildMFA(t, "attack.*payload", "needle")
+	capture := interleavedCapture(t, 6, 2<<10, []string{"attack", "payload", "needle"})
+
+	e := New(Config{Shards: 4, QueueDepth: 256, Metrics: reg, Events: ring},
+		func() flow.Runner { return m.NewRunner() }, nil)
+	feedCapture(t, e, capture)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"mfa_engine_packets_total":       float64(st.Packets),
+		"mfa_engine_payload_bytes_total": float64(st.PayloadBytes),
+		"mfa_engine_matches_total":       float64(st.Matches),
+		"mfa_engine_flows_total":         float64(st.FlowsTotal),
+		"mfa_engine_queue_depth":         0,
+		"mfa_engine_unhealthy_shards":    0,
+		"mfa_engine_tier":                float64(st.Tier),
+	} {
+		if got := snap.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if st.Matches == 0 {
+		t.Fatal("trace produced no matches; test is vacuous")
+	}
+
+	// Per-shard series must sum to the aggregate and match ShardPackets.
+	// Histograms observe only payload-bearing segments, so their counts
+	// sum to the capture's payload-segment total, bounded per shard by
+	// that shard's packet count.
+	var histTotal uint64
+	for i := range st.ShardPackets {
+		ms, ok := snap.Get("mfa_shard_packets_total", telemetry.L("shard", strconv.Itoa(i)))
+		if !ok || ms.Value != float64(st.ShardPackets[i]) {
+			t.Errorf("shard_packets_total{shard=%d} = %+v, want %d", i, ms, st.ShardPackets[i])
+		}
+		h, ok := snap.Get("mfa_shard_scan_seconds", telemetry.L("shard", strconv.Itoa(i)))
+		if !ok || h.Hist == nil {
+			t.Fatalf("no scan histogram for shard %d", i)
+		}
+		if h.Hist.Count > uint64(st.ShardPackets[i]) {
+			t.Errorf("scan histogram count for shard %d = %d > shard packets %d",
+				i, h.Hist.Count, st.ShardPackets[i])
+		}
+		histTotal += h.Hist.Count
+	}
+	if want := countPayloadSegments(t, capture); histTotal != want {
+		t.Errorf("scan histogram observations = %d, want %d (one per payload-bearing segment)",
+			histTotal, want)
+	}
+
+	// Reassembly gauges: after Close every flow was torn down or is
+	// still live; live flows stay in the gauge.
+	if got := snap.Value("mfa_reasm_live_flows"); got != float64(st.FlowsLive) {
+		t.Errorf("reasm_live_flows = %v, Stats.FlowsLive = %d", got, st.FlowsLive)
+	}
+
+	// Every confirmed match landed in the ring (ring capacity 16 may
+	// truncate the tail but Total is exact).
+	if ring.Total() != st.Matches {
+		t.Errorf("event ring Total = %d, Stats.Matches = %d", ring.Total(), st.Matches)
+	}
+	tail := ring.Tail(0)
+	if len(tail) == 0 {
+		t.Fatal("event ring empty")
+	}
+	for _, ev := range tail {
+		if ev.Flow == "" || ev.Pattern == 0 {
+			t.Errorf("malformed event: %+v", ev)
+		}
+	}
+
+	// The exposition path renders without error.
+	if err := snap.WritePrometheus(discardWriter{}); err != nil {
+		t.Errorf("WritePrometheus: %v", err)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestMetricsScrapeDuringScan scrapes the registry concurrently with a
+// live scan — the reader-never-perturbs-writer contract under -race.
+func TestMetricsScrapeDuringScan(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := buildMFA(t, "attack.*payload")
+	capture := interleavedCapture(t, 4, 4<<10, []string{"attack", "payload"})
+
+	e := New(Config{Shards: 2, QueueDepth: 64, Metrics: reg, Events: telemetry.NewEventRing(8)},
+		func() flow.Runner { return m.NewRunner() }, nil)
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			snap := reg.Snapshot()
+			_ = snap.WritePrometheus(discardWriter{})
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	feedCapture(t, e, capture)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-scraped
+	st := e.Stats()
+	if got := reg.Snapshot().Value("mfa_engine_packets_total"); got != float64(st.Packets) {
+		t.Errorf("post-close packets_total = %v, want %d", got, st.Packets)
+	}
+}
+
+// countPayloadSegments decodes a capture and counts the TCP segments
+// carrying payload — the segments the scan histograms time.
+func countPayloadSegments(t *testing.T, capture []byte) uint64 {
+	t.Helper()
+	pr, err := pcap.NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := pcap.DecodeTCP(pkt.Data)
+		if err != nil {
+			continue
+		}
+		if len(seg.Payload) > 0 {
+			n++
+		}
+	}
+}
+
+// feedCapture pumps a raw pcap byte capture through the engine.
+func feedCapture(t *testing.T, e *Engine, capture []byte) {
+	t.Helper()
+	pr, err := pcap.NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.HandleFrame(pkt.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

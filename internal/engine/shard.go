@@ -26,9 +26,11 @@ package engine
 
 import (
 	"sync/atomic"
+	"time"
 
 	"matchfilter/internal/flow"
 	"matchfilter/internal/pcap"
+	"matchfilter/internal/telemetry"
 )
 
 // shard is one goroutine's private scanning lane.
@@ -51,6 +53,18 @@ type shard struct {
 	// outside observers never touch the assembler itself.
 	matches atomic.Int64
 	snap    atomic.Pointer[flow.Stats]
+
+	// scanHist, when non-nil, observes per-segment scan latency
+	// (reassembly + matching). Set before the shard goroutine starts
+	// (engine.New registers metrics first), read only by the goroutine.
+	scanHist *telemetry.Histogram
+	// evClock makes the run loop read the clock once per segment into
+	// evNano, which the match callback uses to stamp ring events —
+	// match-dense segments then cost one clock read, not one per match.
+	// Both fields stay on the shard goroutine (set before start / the
+	// match callback runs inside process).
+	evClock bool
+	evNano  int64
 
 	// processed counts segments consumed from the queue (scanned or
 	// drop-counted); with len(in) it gives drain progress. exited flips
@@ -129,7 +143,23 @@ func (s *shard) run(e *Engine) {
 			}
 			appliedTier = tier
 		}
-		s.process(e, seg)
+		// Only payload-bearing segments are timed: they are the ones that
+		// feed the matcher (and the only ones that can raise a match
+		// event), while pure SYN/ACK/FIN bookkeeping would just pile
+		// sub-microsecond noise into the lowest bucket and pay two clock
+		// reads for it.
+		if len(seg.Payload) > 0 && (s.scanHist != nil || s.evClock) {
+			t0 := time.Now()
+			if s.evClock {
+				s.evNano = t0.UnixNano()
+			}
+			s.process(e, seg)
+			if s.scanHist != nil {
+				s.scanHist.ObserveDuration(time.Since(t0))
+			}
+		} else {
+			s.process(e, seg)
+		}
 		idleAfter, sweepEvery := cfg.IdleAfter, cfg.SweepEvery
 		if appliedTier >= TierSoft {
 			idleAfter = cfg.DegradedIdleAfter
@@ -180,6 +210,10 @@ func (s *shard) excise(key pcap.FlowKey) {
 		s.lostFlows.Add(int64(old.Flows))
 		old.Flows = 0
 		s.addBase(old)
+		// The discarded assembler's occupancy must leave any shared
+		// gauges; ReleaseGauges subtracts tracked contributions without
+		// walking the (possibly corrupt) tables.
+		s.asm.ReleaseGauges()
 		s.asm = s.rebuild()
 		s.restarts.Add(1)
 	}()

@@ -45,6 +45,11 @@ type Config struct {
 	// full, a new flow evicts the least-recently-seen one (counted in
 	// Stats.EvictedCap) rather than being silently rejected.
 	MaxFlows int
+	// Gauges, when non-nil, receives live occupancy updates (flows,
+	// buffered out-of-order segments and bytes) as the assembler works.
+	// The gauges are atomics, so they may be read from any goroutine and
+	// shared between assemblers; see gauges.go.
+	Gauges *Gauges
 }
 
 // Assembler demultiplexes TCP segments into flows, restores byte order,
@@ -70,6 +75,10 @@ type Assembler struct {
 	evictedCap    int64
 	evictedIdle   int64
 	runnersReused int64
+	// Live gauge accounting (gauges.go); no-ops when Config.Gauges is nil.
+	gLive    gaugeAcct
+	gPending gaugeAcct
+	gBytes   gaugeAcct
 }
 
 type flowCtx struct {
@@ -82,6 +91,9 @@ type flowCtx struct {
 	// pending holds out-of-order segments keyed by sequence number.
 	pending map[uint32][]byte
 	order   []uint32 // insertion order, for bounded eviction
+	// pendingBytes is the payload total held in pending, maintained so
+	// gauge accounting never has to walk the map.
+	pendingBytes int64
 }
 
 // NewAssembler creates an assembler. newRunner supplies per-flow contexts
@@ -91,13 +103,19 @@ func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Ass
 	if cfg.MaxBufferedSegments <= 0 {
 		cfg.MaxBufferedSegments = 64
 	}
-	return &Assembler{
+	a := &Assembler{
 		cfg:       cfg,
 		newRunner: newRunner,
 		flows:     make(map[pcap.FlowKey]*flowCtx),
 		lru:       list.New(),
 		onMatch:   onMatch,
 	}
+	if g := cfg.Gauges; g != nil {
+		a.gLive.g = g.LiveFlows
+		a.gPending.g = g.PendingSegments
+		a.gBytes.g = g.BufferedBytes
+	}
+	return a
 }
 
 // Stats reports reassembly counters.
@@ -171,6 +189,7 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 		ctx.elem = a.lru.PushFront(ctx)
 		a.flows[seg.Key] = ctx
 		a.flowsTotal++
+		a.gLive.add(1)
 	} else {
 		a.lru.MoveToFront(ctx.elem)
 	}
@@ -211,9 +230,19 @@ func (a *Assembler) getRunner() Runner {
 func (a *Assembler) removeFlow(ctx *flowCtx) {
 	delete(a.flows, ctx.key)
 	a.lru.Remove(ctx.elem)
+	a.releaseFlowGauges(ctx)
 	ctx.runner.Reset()
 	a.pool.Put(ctx.runner)
 	ctx.runner = nil
+}
+
+// releaseFlowGauges withdraws one flow's gauge contribution as it leaves
+// the table.
+func (a *Assembler) releaseFlowGauges(ctx *flowCtx) {
+	a.gLive.add(-1)
+	a.gPending.add(-int64(len(ctx.pending)))
+	a.gBytes.add(-ctx.pendingBytes)
+	ctx.pendingBytes = 0
 }
 
 // DropFlow forgets a flow without recycling its runner. This is the
@@ -232,6 +261,7 @@ func (a *Assembler) DropFlow(key pcap.FlowKey) bool {
 	}
 	delete(a.flows, key)
 	a.lru.Remove(ctx.elem)
+	a.releaseFlowGauges(ctx)
 	ctx.runner = nil // do NOT pool: state is suspect
 	return true
 }
@@ -254,10 +284,20 @@ func (a *Assembler) SetMaxBuffered(n int) {
 		for len(ctx.order) > n {
 			oldest := ctx.order[0]
 			ctx.order = ctx.order[1:]
-			delete(ctx.pending, oldest)
+			a.removePending(ctx, oldest)
 			a.droppedSegs++
 		}
 	}
+}
+
+// removePending deletes one buffered segment and settles its gauge and
+// byte accounting.
+func (a *Assembler) removePending(ctx *flowCtx, seq uint32) {
+	n := int64(len(ctx.pending[seq]))
+	delete(ctx.pending, seq)
+	ctx.pendingBytes -= n
+	a.gPending.add(-1)
+	a.gBytes.add(-n)
 }
 
 // MaxBuffered reports the current per-flow out-of-order buffer cap.
@@ -310,7 +350,7 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 		if len(ctx.pending) >= a.cfg.MaxBufferedSegments {
 			oldest := ctx.order[0]
 			ctx.order = ctx.order[1:]
-			delete(ctx.pending, oldest)
+			a.removePending(ctx, oldest)
 			a.droppedSegs++
 		}
 		if _, dup := ctx.pending[seq]; !dup {
@@ -318,6 +358,9 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 			copy(buf, payload)
 			ctx.pending[seq] = buf
 			ctx.order = append(ctx.order, seq)
+			ctx.pendingBytes += int64(len(buf))
+			a.gPending.add(1)
+			a.gBytes.add(int64(len(buf)))
 		}
 		return
 	default:
@@ -336,7 +379,7 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 			return
 		}
 		seq := ctx.nextSeq
-		delete(ctx.pending, seq)
+		a.removePending(ctx, seq)
 		removeSeq(&ctx.order, seq)
 		a.feed(key, ctx, p)
 	}

@@ -1,0 +1,65 @@
+// Live reassembly gauges.
+//
+// The Assembler is single-threaded by design, but its occupancy numbers
+// are exactly what an operator watches while it runs: how many flows are
+// live, how much out-of-order data is parked waiting for gaps to fill.
+// Stats() answers that only from the owning goroutine; gauges answer it
+// from anywhere, because telemetry.Gauge is a bare atomic the assembler
+// updates in place.
+//
+// Several assemblers (one per engine shard) may share one Gauges set —
+// atomic adds compose — so the engine exposes a single aggregate family
+// instead of per-shard reassembly series. Each assembler tracks its own
+// net contribution per gauge, and ReleaseGauges subtracts exactly that:
+// when a shard discards a corrupt assembler during a rebuild, the shared
+// gauges shed the dead assembler's occupancy without ever walking its
+// (possibly inconsistent) tables.
+
+package flow
+
+import "matchfilter/internal/telemetry"
+
+// Gauges is the set of live-occupancy gauges an Assembler maintains.
+// Any field may be nil. See Config.Gauges.
+type Gauges struct {
+	// LiveFlows tracks currently live flows.
+	LiveFlows *telemetry.Gauge
+	// PendingSegments tracks buffered out-of-order segments.
+	PendingSegments *telemetry.Gauge
+	// BufferedBytes tracks payload bytes held in out-of-order buffers.
+	BufferedBytes *telemetry.Gauge
+}
+
+// gaugeAcct wraps one shared gauge with this assembler's running
+// contribution, so the contribution can be withdrawn wholesale without
+// consulting assembler state.
+type gaugeAcct struct {
+	g       *telemetry.Gauge
+	contrib int64
+}
+
+func (ga *gaugeAcct) add(n int64) {
+	if ga.g != nil {
+		ga.g.Add(n)
+		ga.contrib += n
+	}
+}
+
+func (ga *gaugeAcct) release() {
+	if ga.g != nil && ga.contrib != 0 {
+		ga.g.Add(-ga.contrib)
+		ga.contrib = 0
+	}
+}
+
+// ReleaseGauges withdraws this assembler's entire contribution from the
+// shared gauges. Call it when discarding an assembler without tearing
+// down its flows one by one — the shard rebuild path — so shared gauges
+// do not leak the dead assembler's occupancy. Safe even if the
+// assembler's tables are corrupt: only the tracked contributions are
+// read. Idempotent.
+func (a *Assembler) ReleaseGauges() {
+	a.gLive.release()
+	a.gPending.release()
+	a.gBytes.release()
+}

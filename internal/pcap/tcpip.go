@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // FlowKey identifies one TCP direction: the classic 5-tuple with the
@@ -15,12 +16,29 @@ type FlowKey struct {
 	DstPort uint16
 }
 
+// String renders "src:port->dst:port". It runs on the per-match path
+// (event tracing, report lines), so it builds the string with strconv
+// appends rather than fmt — roughly an order of magnitude cheaper.
 func (k FlowKey) String() string {
-	return fmt.Sprintf("%s:%d->%s:%d", ipString(k.SrcIP), k.SrcPort, ipString(k.DstIP), k.DstPort)
+	b := make([]byte, 0, 44) // worst case: two full IPv4s + two 5-digit ports
+	b = appendIP(b, k.SrcIP)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.SrcPort), 10)
+	b = append(b, '-', '>')
+	b = appendIP(b, k.DstIP)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.DstPort), 10)
+	return string(b)
 }
 
-func ipString(ip uint32) string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+func appendIP(b []byte, ip uint32) []byte {
+	b = strconv.AppendUint(b, uint64(byte(ip>>24)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>16)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>8)), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(byte(ip)), 10)
 }
 
 // TCPFlags of interest to reassembly.

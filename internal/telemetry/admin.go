@@ -1,0 +1,147 @@
+// Admin HTTP surface.
+//
+// One handler serves everything an operator (or a scraper, or a load
+// balancer) asks a running daemon:
+//
+//	/metrics  Prometheus text exposition of the registry
+//	/statsz   JSON application snapshot (whatever Statsz returns)
+//	/healthz  200 "ok" / 503 with the failure reason, from Health
+//	/events   JSON tail of the match-event ring (?n= bounds the tail)
+//	/debug/pprof/...  the standard net/http/pprof profiling handlers
+//
+// The surface is deliberately read-only: nothing under it mutates the
+// engine, so exposing it on an internal interface is safe by
+// construction. Health is a callback so the daemon keys it to the same
+// rule as its exit code — the two must never disagree, or a supervisor
+// restarting on 503 and one restarting on exit status would fight.
+
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Admin bundles the pieces the admin surface serves. Any field may be
+// nil; the corresponding endpoint then answers 404 (health answers 200,
+// the right default for a daemon that defines no health rule).
+type Admin struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Events backs /events.
+	Events *EventRing
+	// Health backs /healthz: nil error means healthy. The callback must
+	// implement the same predicate as the process's unhealthy exit code.
+	Health func() error
+	// Statsz backs /statsz with any JSON-serializable snapshot.
+	Statsz func() any
+}
+
+// Handler builds the admin mux.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if a.Registry == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = a.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
+		if a.Statsz == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSONValue(w, a.Statsz())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if a.Health != nil {
+			if err := a.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		if a.Events == nil {
+			http.NotFound(w, req)
+			return
+		}
+		n := 0 // 0 = everything buffered
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSONValue(w, struct {
+			Total  int64   `json:"total"`
+			Events []Event `json:"events"`
+		}{Total: a.Events.Total(), Events: a.Events.Tail(n)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "mfa admin\n/metrics\n/statsz\n/healthz\n/events\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a started admin listener.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+	err chan error
+}
+
+// Start listens on addr and serves the admin surface in a background
+// goroutine. The returned Server reports the bound address (useful with
+// ":0") and shuts down gracefully.
+func (a *Admin) Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv: &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+		err: make(chan error, 1),
+	}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops the server gracefully: in-flight requests get until ctx
+// expires, then remaining connections are closed. Always returns once
+// the server no longer accepts connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	<-s.err // Serve has returned (http.ErrServerClosed on the clean path)
+	return err
+}

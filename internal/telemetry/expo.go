@@ -1,0 +1,152 @@
+// Exposition writers: Prometheus text format and JSON.
+//
+// Both render a Snapshot, so a scrape costs one registry walk however
+// many formats are mounted, and both are deterministic (sorted by name
+// then label set) so diffs in tests and CI are stable.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, one line per
+// series, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders a captured snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for i := range s {
+		m := &s[i]
+		if m.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		if m.Hist != nil {
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m *MetricSnapshot) error {
+	h := m.Hist
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, labelStringWith(m.Labels, Label{"le", formatValue(bound)}), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		m.Name, labelStringWith(m.Labels, Label{"le", "+Inf"}), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), cum)
+	return err
+}
+
+// labelStringWith renders labels plus one extra (the histogram "le").
+func labelStringWith(labels []Label, extra Label) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, extra)
+	return labelString(all)
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is the JSON shape of one series.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHistogram    `json:"histogram,omitempty"`
+}
+
+type jsonHistogram struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+type jsonBucket struct {
+	LE    float64 `json:"le"` // upper bound; the overflow bucket sets Inf instead (JSON has no +Inf literal)
+	Inf   bool    `json:"inf,omitempty"`
+	Count uint64  `json:"count"` // per-bucket (not cumulative)
+}
+
+// WriteJSON renders the registry as one JSON document:
+// {"metrics":[{name, kind, labels, value|histogram}, ...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON renders a captured snapshot as JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	out := struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{Metrics: make([]jsonMetric, 0, len(s))}
+	for i := range s {
+		m := &s[i]
+		jm := jsonMetric{Name: m.Name, Kind: m.Kind.String()}
+		if len(m.Labels) > 0 {
+			jm.Labels = make(map[string]string, len(m.Labels))
+			for _, l := range m.Labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		if m.Hist != nil {
+			jh := &jsonHistogram{Count: m.Hist.Count, Sum: m.Hist.Sum}
+			for bi, bound := range m.Hist.Bounds {
+				jh.Buckets = append(jh.Buckets, jsonBucket{LE: bound, Count: m.Hist.Counts[bi]})
+			}
+			jh.Buckets = append(jh.Buckets, jsonBucket{Inf: true, Count: m.Hist.Counts[len(m.Hist.Bounds)]})
+			jm.Hist = jh
+		} else {
+			v := m.Value
+			jm.Value = &v
+		}
+		out.Metrics = append(out.Metrics, jm)
+	}
+	return WriteJSONValue(w, out)
+}
+
+// WriteJSONValue writes any JSON-serializable value indented with a
+// trailing newline — the one JSON emitter shared by /statsz, /events,
+// mfascan -stats-json and mfabench -json, so every machine-readable
+// surface in the repository formats alike.
+func WriteJSONValue(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

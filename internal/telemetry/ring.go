@@ -1,0 +1,101 @@
+// Bounded match-event ring buffer.
+//
+// Match reports are the one telemetry signal where the *instances*
+// matter, not just a count: an operator chasing a rule misfire needs the
+// last N (flow, pattern, offset) triples, not a counter. The ring keeps
+// a fixed window of the most recent events, overwriting the oldest —
+// memory is bounded no matter how match-heavy the traffic, and a burst
+// simply advances the window. Every event ever added gets a monotonic
+// sequence number, so a reader tailing the ring can detect exactly how
+// many events it lost between polls (first seq seen minus last seq read
+// minus one).
+
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one confirmed match as the ring records it.
+type Event struct {
+	// Seq numbers events from 1 in admission order; gaps never occur
+	// (overwritten events disappear from the buffer, not the numbering).
+	Seq int64 `json:"seq"`
+	// TimeUnixNano is the event timestamp. Add stamps it at admission
+	// when zero; a producer on a hot path may pre-stamp with a coarser
+	// clock (e.g. once per scanned segment) to save a clock read per
+	// event.
+	TimeUnixNano int64 `json:"time_unix_nano"`
+	// Flow is the flow key in its canonical string form.
+	Flow string `json:"flow"`
+	// Pattern is the matched rule id.
+	Pattern int32 `json:"pattern"`
+	// Offset is the byte offset of the match in the flow's stream.
+	Offset int64 `json:"offset"`
+}
+
+// EventRing is a fixed-capacity overwrite-oldest event buffer, safe for
+// concurrent Add and Tail.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	total int64 // events ever admitted == last assigned Seq
+}
+
+// NewEventRing creates a ring holding the most recent size events.
+// size <= 0 selects 1024.
+func NewEventRing(size int) *EventRing {
+	if size <= 0 {
+		size = 1024
+	}
+	return &EventRing{buf: make([]Event, 0, size)}
+}
+
+// Add admits one event, stamping its sequence number (and, when the
+// producer left it zero, its timestamp) and overwriting the oldest
+// event if the ring is full.
+func (r *EventRing) Add(e Event) {
+	if e.TimeUnixNano == 0 {
+		e.TimeUnixNano = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	r.total++
+	e.Seq = r.total
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[int((r.total-1)%int64(cap(r.buf)))] = e
+	}
+	r.mu.Unlock()
+}
+
+// Tail returns up to n of the most recent events, oldest first. n <= 0
+// returns everything buffered.
+func (r *EventRing) Tail(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := len(r.buf)
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, 0, n)
+	// Oldest retained event is total-held+1; we want the last n of the
+	// retained window.
+	for i := held - n; i < held; i++ {
+		idx := int((r.total - int64(held) + int64(i)) % int64(cap(r.buf)))
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Total reports how many events were ever admitted (the Seq of the
+// newest event).
+func (r *EventRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap reports the ring's fixed capacity.
+func (r *EventRing) Cap() int { return cap(r.buf) }

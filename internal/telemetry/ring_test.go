@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventRingOverwriteOldest(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Pattern: int32(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	tail := r.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("Tail(0) held %d, want 4", len(tail))
+	}
+	// The retained window is the newest 4, oldest first, seq contiguous.
+	for i, e := range tail {
+		wantSeq := int64(7 + i)
+		if e.Seq != wantSeq || e.Pattern != int32(wantSeq-1) {
+			t.Errorf("tail[%d] = seq %d pattern %d, want seq %d pattern %d",
+				i, e.Seq, e.Pattern, wantSeq, wantSeq-1)
+		}
+		if e.TimeUnixNano == 0 {
+			t.Errorf("tail[%d] not timestamped", i)
+		}
+	}
+	// Bounded tail returns the newest n.
+	last2 := r.Tail(2)
+	if len(last2) != 2 || last2[0].Seq != 9 || last2[1].Seq != 10 {
+		t.Errorf("Tail(2) = %+v, want seqs 9,10", last2)
+	}
+	// Asking for more than buffered returns what's there.
+	if got := r.Tail(100); len(got) != 4 {
+		t.Errorf("Tail(100) held %d, want 4", len(got))
+	}
+}
+
+func TestEventRingPartialFill(t *testing.T) {
+	r := NewEventRing(8)
+	r.Add(Event{Flow: "a", Pattern: 1, Offset: 5})
+	r.Add(Event{Flow: "b", Pattern: 2, Offset: 9})
+	tail := r.Tail(0)
+	if len(tail) != 2 || tail[0].Flow != "a" || tail[1].Flow != "b" {
+		t.Fatalf("Tail = %+v", tail)
+	}
+	if tail[0].Seq != 1 || tail[1].Seq != 2 {
+		t.Errorf("seqs = %d,%d want 1,2", tail[0].Seq, tail[1].Seq)
+	}
+}
+
+// TestEventRingConcurrent proves Add/Tail safety under -race and checks
+// the invariants that survive interleaving: totals match adds, tails are
+// seq-ordered and contiguous.
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(64)
+	const writers, per = 8, 500
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			tail := r.Tail(0)
+			for i := 1; i < len(tail); i++ {
+				if tail[i].Seq != tail[i-1].Seq+1 {
+					t.Errorf("tail seqs not contiguous: %d then %d", tail[i-1].Seq, tail[i].Seq)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add(Event{Pattern: int32(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if r.Total() != writers*per {
+		t.Errorf("Total = %d, want %d", r.Total(), writers*per)
+	}
+}

@@ -1,0 +1,30 @@
+// Process-level metrics: Go runtime gauges and uptime.
+//
+// These are callback gauges evaluated at scrape time only — ReadMemStats
+// costs a brief stop-the-world, which is fine on an exposition path hit
+// a few times a minute and would not be fine per segment.
+
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics adds process-level gauges to the registry:
+// goroutine count, heap usage, GC totals, GOMAXPROCS, and uptime
+// relative to start.
+func RegisterRuntimeMetrics(r *Registry, start time.Time) {
+	r.GaugeFunc("mfa_go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("mfa_go_gomaxprocs", "GOMAXPROCS at scrape time.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("mfa_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	r.GaugeFunc("mfa_go_sys_bytes", "Bytes obtained from the OS.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.Sys) })
+	r.CounterFunc("mfa_go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
+	r.CounterFunc("mfa_process_uptime_seconds", "Seconds since the process started serving.",
+		func() float64 { return time.Since(start).Seconds() })
+}
