@@ -8,11 +8,12 @@
 //	mfabench -exp table5 -sets C7p,C8
 //	mfabench -exp fig4 -scale 0.25    # smaller traces, faster run
 //	mfabench -exp fig5 -bytes 524288
+//	mfabench -exp layout -json layout.json    # flat vs classed tables
 //	mfabench -exp engine -json results.json   # machine-readable rows too
 //
 // -json writes the raw measurement rows of the row-producing experiments
-// (fig4, fig5, active, engine) as one JSON document ("-" for stdout) in
-// addition to the printed tables.
+// (fig4, fig5, active, layout, engine) as one JSON document ("-" for
+// stdout) in addition to the printed tables.
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, engine, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, layout, engine, all")
 	setsFlag := flag.String("sets", "", "comma-separated pattern sets (default: all seven)")
 	scale := flag.Float64("scale", 0.25, "trace size scale for fig4 and engine")
 	bytesN := flag.Int("bytes", 1<<20, "stream length per measurement for fig5")
@@ -70,6 +71,15 @@ func run() error {
 		if err := bench.PrefilterComparison(out, sets, *bytesN/4, *seed); err != nil {
 			return err
 		}
+		fmt.Fprintln(out)
+	}
+
+	if wants("layout") {
+		rows, err := bench.LayoutComparison(out, sets, *bytesN, *seed)
+		if err != nil {
+			return err
+		}
+		report.AddLayout(rows)
 		fmt.Fprintln(out)
 	}
 

@@ -122,6 +122,7 @@ func run() (int, error) {
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventRing(*eventsCap)
 	telemetry.RegisterRuntimeMetrics(reg, start)
+	registerBuildMetrics(reg, m.Stats())
 
 	cfg := engine.Config{
 		Shards:        *shards,
@@ -151,7 +152,15 @@ func run() (int, error) {
 				}
 				return nil
 			},
-			Statsz: func() any { return e.Stats() },
+			// /statsz reports both halves of the serving state: the live
+			// engine counters and the static build shape (table layout,
+			// class count, image split) of the loaded MFA.
+			Statsz: func() any {
+				return struct {
+					Engine engine.Stats
+					Build  core.BuildStats
+				}{e.Stats(), m.Stats()}
+			},
 		}
 		var err error
 		if admin, err = a.Start(*adminAddr); err != nil {
@@ -285,6 +294,27 @@ func progressLoop(reg *telemetry.Registry, every time.Duration, stop <-chan stru
 				snap.Value("mfa_engine_poisoned_flows_total"))
 		}
 	}
+}
+
+// registerBuildMetrics exposes the static shape of the loaded automaton:
+// what the scan loop is actually walking (table layout, byte-class count,
+// table bytes) and the image split. Static values are still registered as
+// snapshot-time callbacks so every surface renders from one source.
+func registerBuildMetrics(reg *telemetry.Registry, st core.BuildStats) {
+	g := func(name, help string, v int) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(v) })
+	}
+	g("mfa_build_dfa_states", "states in the character DFA", st.DFAStates)
+	g("mfa_build_dfa_table_bytes", "transition-table image bytes in its serving layout (classed includes the class map)", st.DFATableBytes)
+	g("mfa_build_dfa_classes", "byte equivalence classes of the transition table (256 = flat)", st.DFAClasses)
+	g("mfa_build_image_bytes", "total static memory image (DFA + filter program)", st.MemoryImageBytes())
+	g("mfa_build_mem_bits", "per-flow filter memory width w", st.MemBits)
+	// Info-style metric: the layout name rides in the label, value is
+	// always 1.
+	reg.GaugeFunc("mfa_build_dfa_layout_info",
+		"transition-table layout of the loaded engine (flat or classed)",
+		func() float64 { return 1 },
+		telemetry.L("layout", st.DFALayout))
 }
 
 // report renders the end-of-run stats block.

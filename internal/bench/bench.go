@@ -112,9 +112,11 @@ func Build(set string) (*Engines, error) {
 		BuildTime:  time.Since(start),
 	})
 
-	// DFA (may exceed its budget).
+	// DFA (may exceed its budget). The baseline keeps the paper's flat
+	// one-load-per-byte table; the flat-vs-classed comparison is its own
+	// experiment (layout.go), not a change to the Figure 2–5 baselines.
 	start = time.Now()
-	d, err := dfa.FromNFA(n, dfa.Options{})
+	d, err := dfa.FromNFA(n, dfa.Options{Layout: dfa.LayoutFlat})
 	switch {
 	case errors.Is(err, dfa.ErrTooManyStates):
 		e.Results = append(e.Results, BuildResult{

@@ -35,6 +35,13 @@ type JSONRow struct {
 	// Active-state analysis columns (experiment "active").
 	MeanActive float64 `json:"mean_active,omitempty"`
 	MaxActive  int     `json:"max_active,omitempty"`
+
+	// Table-layout columns (experiment "layout"): the layout under
+	// measurement, its transition-table image size and, for classed rows,
+	// the byte equivalence-class count.
+	Layout     string `json:"layout,omitempty"`
+	TableBytes int    `json:"table_bytes,omitempty"`
+	Classes    int    `json:"classes,omitempty"`
 }
 
 // JSONReport accumulates rows across the experiments of one mfabench run
@@ -103,6 +110,25 @@ func (r *JSONReport) AddEngineScaling(results []EngineScalingResult) {
 		row.Shards = &shards
 		row.Matches = er.Matches
 		r.Rows = append(r.Rows, row)
+	}
+}
+
+// AddLayout appends flat-vs-classed rows (experiment "layout"), one row
+// per (set, layout) measurement.
+func (r *JSONReport) AddLayout(results []LayoutResult) {
+	for _, lr := range results {
+		flat := r.throughputRow("layout", lr.Set, lr.Flat)
+		flat.Engine = EngineMFA.String()
+		flat.Layout = "flat"
+		flat.TableBytes = lr.FlatTableBytes
+		r.Rows = append(r.Rows, flat)
+
+		classed := r.throughputRow("layout", lr.Set, lr.Classed)
+		classed.Engine = EngineMFA.String()
+		classed.Layout = "classed"
+		classed.TableBytes = lr.ClassedTableBytes
+		classed.Classes = lr.Classes
+		r.Rows = append(r.Rows, classed)
 	}
 }
 

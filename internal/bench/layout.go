@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/trace"
+)
+
+// LayoutSets are the pattern sets of the flat-vs-classed layout
+// experiment: the vendor and Snort families plus B217p, whose plain DFA
+// is infeasible but whose MFA fragment automaton is the largest table in
+// the suite and therefore the most interesting compression subject.
+var LayoutSets = []string{"C7p", "C8", "C10", "S24", "B217p"}
+
+// LayoutResult compares the two transition-table layouts of one set's
+// MFA: identical automaton, flat 256-wide table versus the byte-class
+// compressed one.
+type LayoutResult struct {
+	Set     string
+	States  int
+	Classes int
+	// FlatTableBytes and ClassedTableBytes are the transition-table image
+	// sizes (the classed figure includes its 256-byte class map);
+	// Reduction is flat divided by classed.
+	FlatTableBytes    int
+	ClassedTableBytes int
+	Reduction         float64
+	// Flat and Classed are scan throughputs over the same payload: a
+	// text-like trace salted with the set's own literals, the Figure 4
+	// payload model.
+	Flat    Throughput
+	Classed Throughput
+}
+
+// layoutEngines compiles the same rule set twice, once per layout. The
+// flat build is the paper's one-load-per-byte table; the classed build
+// is what core.Compile produces by default when the set compresses.
+func layoutEngines(set string) (flat, classed *core.MFA, err error) {
+	rules, err := patterns.Load(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	coreRules := make([]core.Rule, len(rules))
+	for i, r := range rules {
+		coreRules[i] = core.Rule{Pattern: r.Pattern, ID: r.ID}
+	}
+	flat, err = core.Compile(coreRules, core.Options{DFA: dfa.Options{Layout: dfa.LayoutFlat}})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s flat MFA: %w", set, err)
+	}
+	classed, err = core.Compile(coreRules, core.Options{DFA: dfa.Options{Layout: dfa.LayoutClassed}})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s classed MFA: %w", set, err)
+	}
+	return flat, classed, nil
+}
+
+// layoutPayload synthesizes the scan payload for one set: text-like
+// traffic salted with the set's literals so the automaton leaves its
+// start-state neighbourhood (word density as the LL1 trace profile).
+func layoutPayload(set string, n int, seed int64) ([]byte, error) {
+	words, err := patterns.AllWords(set)
+	if err != nil {
+		return nil, err
+	}
+	return trace.TextLike(n, seed, words, 0.004), nil
+}
+
+// MeasureLayout builds both layouts of one set's MFA and measures them
+// over the same payload.
+func MeasureLayout(set string, bytesN int, seed int64) (LayoutResult, error) {
+	flat, classed, err := layoutEngines(set)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	payload, err := layoutPayload(set, bytesN, seed)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	fs, cs := flat.Stats(), classed.Stats()
+	res := LayoutResult{
+		Set:               set,
+		States:            cs.DFAStates,
+		Classes:           cs.DFAClasses,
+		FlatTableBytes:    fs.DFATableBytes,
+		ClassedTableBytes: cs.DFATableBytes,
+		Flat:              Measure(func(data []byte) int64 { return flat.NewRunner().FeedCount(data) }, payload),
+		Classed:           Measure(func(data []byte) int64 { return classed.NewRunner().FeedCount(data) }, payload),
+	}
+	if cs.DFATableBytes > 0 {
+		res.Reduction = float64(fs.DFATableBytes) / float64(cs.DFATableBytes)
+	}
+	return res, nil
+}
+
+// LayoutComparison runs the flat-vs-classed experiment over the given
+// sets (default LayoutSets) and renders the size and throughput table
+// that DESIGN.md §13 and EXPERIMENTS.md discuss.
+func LayoutComparison(w io.Writer, sets []string, bytesN int, seed int64) ([]LayoutResult, error) {
+	if len(sets) == 0 {
+		sets = LayoutSets
+	}
+	fmt.Fprintln(w, "Transition-table layouts: flat (256-wide) vs byte-class compressed")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Set\tstates\tclasses\tflat table\tclassed table\treduction\tflat MB/s\tclassed MB/s")
+	var all []LayoutResult
+	for _, set := range sets {
+		res, err := MeasureLayout(set, bytesN, seed)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1fx\t%.0f\t%.0f\n",
+			res.Set, res.States, res.Classes,
+			res.FlatTableBytes, res.ClassedTableBytes, res.Reduction,
+			res.Flat.MBps(), res.Classed.MBps())
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "(classed table bytes include the 256-byte class map; same automaton,")
+	fmt.Fprintln(w, " same match stream — see the layout equivalence tests)")
+	return all, nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// BenchmarkClassedVsFlat scans the same salted text-like payload with
+// both table layouts of each set's MFA. CI runs it with -benchtime=1x as
+// a smoke test; locally, -bench=Classed gives the real comparison.
+func BenchmarkClassedVsFlat(b *testing.B) {
+	const payloadBytes = 1 << 20
+	for _, set := range LayoutSets {
+		flat, classed, err := layoutEngines(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, err := layoutPayload(set, payloadBytes, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(set+"/flat", func(b *testing.B) {
+			r := flat.NewRunner()
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.FeedCount(payload)
+			}
+		})
+		b.Run(set+"/classed", func(b *testing.B) {
+			r := classed.NewRunner()
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.FeedCount(payload)
+			}
+		})
+	}
+}
+
+// TestLayoutComparison smoke-tests the experiment end to end on one
+// small set and checks the acceptance-relevant invariants: the classed
+// table is smaller and both layouts saw identical match counts on the
+// shared payload.
+func TestLayoutComparison(t *testing.T) {
+	results, err := LayoutComparison(io.Discard, []string{"C10"}, 1<<16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	res := results[0]
+	if res.ClassedTableBytes >= res.FlatTableBytes {
+		t.Fatalf("classed table %d B not smaller than flat %d B",
+			res.ClassedTableBytes, res.FlatTableBytes)
+	}
+	if res.Classes <= 0 || res.Classes >= 256 {
+		t.Fatalf("implausible class count %d", res.Classes)
+	}
+	if res.Flat.MatchEvents != res.Classed.MatchEvents {
+		t.Fatalf("layouts disagree on match count: flat %d, classed %d",
+			res.Flat.MatchEvents, res.Classed.MatchEvents)
+	}
+
+	var report JSONReport
+	report.AddLayout(results)
+	var sb strings.Builder
+	if err := report.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "layout"`, `"layout": "flat"`, `"layout": "classed"`, `"table_bytes"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("JSON report missing %s:\n%s", want, sb.String())
+		}
+	}
+}

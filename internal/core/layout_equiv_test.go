@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"matchfilter/internal/dfa"
+	"matchfilter/internal/patterns"
+	"matchfilter/internal/trace"
+)
+
+// TestLayoutEquivalence is the tentpole's end-to-end property test:
+// for random subsets of the named pattern sets, a flat-layout MFA and a
+// classed-layout MFA must emit byte-identical (id, pos) match streams on
+// both uniform-random payloads and trace-generated (match-seeking)
+// payloads, including when the payload arrives in arbitrary Feed chunks.
+// It runs under -race in CI.
+func TestLayoutEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sets := []string{"C7p", "C8", "C10", "S24"}
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+
+	for _, set := range sets {
+		all, err := patterns.Load(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < trials; trial++ {
+			// Random non-empty subset of the set's rules, original ids kept.
+			var rules []Rule
+			for _, r := range all {
+				if rng.Intn(2) == 0 {
+					rules = append(rules, Rule{Pattern: r.Pattern, ID: r.ID})
+				}
+			}
+			if len(rules) == 0 {
+				rules = append(rules, Rule{Pattern: all[0].Pattern, ID: all[0].ID})
+			}
+
+			flat, err := Compile(rules, Options{DFA: dfa.Options{Layout: dfa.LayoutFlat}})
+			if err != nil {
+				t.Fatalf("%s/%d: flat compile: %v", set, trial, err)
+			}
+			classed, err := Compile(rules, Options{DFA: dfa.Options{Layout: dfa.LayoutClassed}})
+			if err != nil {
+				t.Fatalf("%s/%d: classed compile: %v", set, trial, err)
+			}
+			if got := classed.Stats().DFALayout; got != "classed" {
+				t.Fatalf("%s/%d: classed build reports layout %q", set, trial, got)
+			}
+
+			seed := int64(set[0])*1000 + int64(trial)
+			gen := trace.NewGenerator(flat.DFA(), seed)
+			inputs := [][]byte{
+				trace.Random(4096, seed),
+				gen.Generate(nil, 4096, 0.35), // drives the automaton toward accepts
+				gen.Generate(nil, 4096, 0.95), // near-adversarial: maximal match density
+			}
+			for ii, input := range inputs {
+				want := fmt.Sprint(flat.Run(input))
+				if got := fmt.Sprint(classed.Run(input)); got != want {
+					t.Fatalf("%s/%d input %d: match streams differ\nflat:    %s\nclassed: %s",
+						set, trial, ii, want, got)
+				}
+
+				// Same payload delivered in random chunks: per-flow context
+				// must carry across Feed calls identically in both layouts.
+				fr, cr := flat.NewRunner(), classed.NewRunner()
+				var fe, ce []MatchEvent
+				for off := 0; off < len(input); {
+					n := 1 + rng.Intn(700)
+					if off+n > len(input) {
+						n = len(input) - off
+					}
+					fr.Feed(input[off:off+n], func(id int32, pos int64) {
+						fe = append(fe, MatchEvent{RuleID: id, Pos: pos})
+					})
+					cr.Feed(input[off:off+n], func(id int32, pos int64) {
+						ce = append(ce, MatchEvent{RuleID: id, Pos: pos})
+					})
+					off += n
+				}
+				if fmt.Sprint(fe) != fmt.Sprint(ce) {
+					t.Fatalf("%s/%d input %d: chunked match streams differ", set, trial, ii)
+				}
+				if fmt.Sprint(fe) != want {
+					t.Fatalf("%s/%d input %d: chunked stream differs from whole-payload stream", set, trial, ii)
+				}
+			}
+		}
+	}
+}

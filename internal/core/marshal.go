@@ -74,19 +74,25 @@ func readMFA(r io.Reader) (*MFA, error) {
 			}
 		}
 	}
+	trans, classOf, stride := d.ScanTable()
 	return &MFA{
 		engine:      dfa.NewEngine(d),
 		prog:        prog,
-		trans:       d.TransitionTable(),
+		trans:       trans,
+		classOf:     classOf,
+		stride:      stride,
 		acceptStart: d.AcceptStart(),
 		accepts:     d.AcceptSets(),
 		stats: BuildStats{
-			DFAStates:   d.NumStates(),
-			MemBits:     prog.MemBits(),
-			PosRegs:     prog.NumRegs(),
-			InternalIDs: prog.NumIDs() - 1,
-			DFABytes:    d.MemoryImageBytes(),
-			FilterBytes: prog.MemoryImageBytes(),
+			DFAStates:     d.NumStates(),
+			MemBits:       prog.MemBits(),
+			PosRegs:       prog.NumRegs(),
+			InternalIDs:   prog.NumIDs() - 1,
+			DFABytes:      d.MemoryImageBytes(),
+			FilterBytes:   prog.MemoryImageBytes(),
+			DFATableBytes: d.TableBytes(),
+			DFAClasses:    d.NumClasses(),
+			DFALayout:     d.Layout().String(),
 		},
 	}, nil
 }

@@ -57,6 +57,15 @@ type BuildStats struct {
 	// the paper reports filters averaging under 0.2% of the image.
 	DFABytes    int
 	FilterBytes int
+	// DFATableBytes is the transition table's share of DFABytes in its
+	// actual layout (classed tables include the 256-byte class map);
+	// DFAClasses is the byte equivalence-class count (256 when flat) and
+	// DFALayout names the layout ("flat" or "classed"). Exposed to
+	// telemetry so /metrics and /statsz report what the scan loop is
+	// actually walking.
+	DFATableBytes int
+	DFAClasses    int
+	DFALayout     string
 }
 
 // MemoryImageBytes is the total static image (Figure 2).
@@ -72,7 +81,12 @@ type MFA struct {
 
 	// Hot-loop views of the DFA, cached so Runner.Feed runs the
 	// table-walk inline instead of through dfa.Runner callbacks.
+	// classOf is nil for the flat layout; stride is the table's row
+	// width (256 flat, the class count otherwise). Runner.Feed branches
+	// on the layout once per call, never per byte.
 	trans       []uint32
+	classOf     []uint8
+	stride      int
 	acceptStart uint32
 	accepts     [][]int32
 }
@@ -116,10 +130,13 @@ func Compile(rules []Rule, opts Options) (*MFA, error) {
 	dfaTime := time.Since(startDFA)
 
 	prog := res.Program()
+	trans, classOf, stride := d.ScanTable()
 	m := &MFA{
 		engine:      dfa.NewEngine(d),
 		prog:        prog,
-		trans:       d.TransitionTable(),
+		trans:       trans,
+		classOf:     classOf,
+		stride:      stride,
 		acceptStart: d.AcceptStart(),
 		accepts:     d.AcceptSets(),
 		stats: BuildStats{
@@ -134,8 +151,11 @@ func Compile(rules []Rule, opts Options) (*MFA, error) {
 			BuildTime:    time.Since(startAll),
 			SplitTime:    splitTime,
 			DFATime:      dfaTime,
-			DFABytes:     d.MemoryImageBytes(),
-			FilterBytes:  prog.MemoryImageBytes(),
+			DFABytes:      d.MemoryImageBytes(),
+			FilterBytes:   prog.MemoryImageBytes(),
+			DFATableBytes: d.TableBytes(),
+			DFAClasses:    d.NumClasses(),
+			DFALayout:     d.Layout().String(),
 		},
 	}
 	return m, nil
@@ -198,9 +218,12 @@ func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registe
 
 // Feed advances the flow over data. Every possible match from the DFA is
 // passed through the filter; onMatch is invoked only for confirmed
-// matches of original rules. The DFA walk is inlined here — one table
-// load and one compare per byte — so the composite engine's hot loop
-// matches a bare DFA until a possible match needs filtering.
+// matches of original rules. The DFA walk is inlined here — with the
+// table layout resolved once per call, not per byte — so the composite
+// engine's hot loop matches a bare DFA until a possible match needs
+// filtering: one table load and compare per byte on the flat layout,
+// plus one load from the always-cached 256-byte class map on the
+// byte-class layout.
 func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	m := r.mfa
 	prog := m.prog
@@ -210,16 +233,37 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	acceptStart := m.acceptStart
 	state := r.dfa.State()
 	pos := r.dfa.Pos()
-	for i := 0; i < len(data); i++ {
-		state = trans[int(state)<<8|int(data[i])]
-		if state >= acceptStart {
-			for _, id := range m.accepts[state-acceptStart] {
-				if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
-					onMatch(ruleID, pos)
+	if classOf := m.classOf; classOf != nil {
+		// Classed tables hold pre-scaled row bases (see dfa.ScanTable):
+		// the walk is a single add per byte; state numbers are recovered
+		// only at accept events and at the end of the call.
+		k := uint32(m.stride)
+		st := state * k
+		scaledAccept := acceptStart * k
+		for i := 0; i < len(data); i++ {
+			st = trans[st+uint32(classOf[data[i]])]
+			if st >= scaledAccept {
+				for _, id := range m.accepts[(st-scaledAccept)/k] {
+					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+						onMatch(ruleID, pos)
+					}
 				}
 			}
+			pos++
 		}
-		pos++
+		state = st / k
+	} else {
+		for i := 0; i < len(data); i++ {
+			state = trans[int(state)<<8|int(data[i])]
+			if state >= acceptStart {
+				for _, id := range m.accepts[state-acceptStart] {
+					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+						onMatch(ruleID, pos)
+					}
+				}
+			}
+			pos++
+		}
 	}
 	r.dfa.SetState(state, pos)
 }

@@ -1,12 +1,27 @@
-// Package dfa implements subset construction from an NFA into a flat
+// Package dfa implements subset construction from an NFA into a
 // transition-table deterministic automaton with multi-match decision sets
 // (the Dq: Q → 2^Di component of the paper's 9-tuple), plus a fast
 // matching engine and an optional minimization pass.
 //
-// The transition table is a single []uint32 indexed by state*256+byte, so
-// advancing the automaton is one load per input byte. States are
-// renumbered so that all accepting states form a contiguous tail, making
-// the per-byte "did we match" test a single integer compare.
+// Two table layouts are supported, selected by Options.Layout:
+//
+//   - Flat: a single []uint32 indexed by state*256+byte, so advancing
+//     the automaton is one load per input byte.
+//   - Classed (the default via LayoutAuto): a 256-byte equivalence-class
+//     map plus a numStates×numClasses table indexed by
+//     state*numClasses+classOf[byte] — two dependent loads per byte, but
+//     a table typically 5–20× smaller that stays cache-resident as state
+//     counts grow. See classes.go.
+//
+// The two layouts encode the identical successor function and produce
+// byte-for-byte identical match streams; only memory footprint and load
+// pattern differ. In both layouts states are renumbered so that all
+// accepting states form a contiguous tail, making the per-byte "did we
+// match" test a single integer compare.
+//
+// Concurrency: a *DFA and the Engine wrapping it are immutable after
+// construction and safe for unlimited concurrent readers. All mutable
+// scan state lives in Runner, which serves exactly one flow at a time.
 package dfa
 
 import (
@@ -40,18 +55,41 @@ type Options struct {
 	// Distinct match-id sets are kept distinguishable, so minimization
 	// never merges states that report different matches.
 	Minimize bool
+	// Layout selects the transition-table representation. The zero value
+	// (LayoutAuto) applies byte-class compression whenever it shrinks the
+	// table at least 2×; LayoutFlat forces the paper's one-load-per-byte
+	// table and exists so baselines and equivalence tests can compare the
+	// two layouts on identical automata.
+	Layout Layout
 }
 
-// DFA is a deterministic multi-match automaton.
+// DFA is a deterministic multi-match automaton. It is immutable after
+// construction and safe for concurrent use by any number of goroutines;
+// per-flow scan state lives in Runner. The slices returned by accessors
+// are shared views that callers must treat as read-only.
 type DFA struct {
-	numStates   int
-	start       uint32
-	trans       []uint32  // numStates*256, row-major
+	numStates int
+	start     uint32
+	// trans is the row-major transition table: numStates*256 for the
+	// flat layout, numStates*numClasses for the classed layout. Classed
+	// entries are pre-scaled row bases (next*numClasses, see classes.go);
+	// flat entries are plain state numbers.
+	trans []uint32
+	// numClasses is the row stride: 256 for flat, the byte
+	// equivalence-class count for classed.
+	numClasses int
+	// classOf maps each input byte to its equivalence class; nil marks
+	// the flat layout (the discriminant every hot loop branches on once
+	// per Feed call, never per byte).
+	classOf     []uint8
 	acceptStart uint32    // states >= acceptStart are accepting
 	accepts     [][]int32 // match ids for states >= acceptStart, indexed by state-acceptStart
 }
 
-// FromNFA runs subset construction on n.
+// FromNFA runs subset construction on n. Construction always builds the
+// flat table first (minimization also operates on it); the requested
+// layout is applied as a final repacking step, so layout choice can
+// never change the automaton's language or decision sets.
 func FromNFA(n *nfa.NFA, opts Options) (*DFA, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
@@ -66,7 +104,7 @@ func FromNFA(n *nfa.NFA, opts Options) (*DFA, error) {
 	if opts.Minimize {
 		d = d.minimize()
 	}
-	return d, nil
+	return d.applyLayout(opts.Layout), nil
 }
 
 // constructor holds the working state of subset construction.
@@ -188,6 +226,7 @@ func (c *constructor) finish() *DFA {
 		numStates:   numStates,
 		start:       perm[0], // state 0 was interned first from the start closure
 		trans:       make([]uint32, numStates*regexparse.AlphabetSize),
+		numClasses:  regexparse.AlphabetSize,
 		acceptStart: acceptStart,
 		accepts:     make([][]int32, numAccept),
 	}
@@ -248,9 +287,14 @@ func (d *DFA) NumStates() int { return d.numStates }
 // Start returns the initial state.
 func (d *DFA) Start() uint32 { return d.start }
 
-// Next returns δ(state, c).
+// Next returns δ(state, c), resolving the table layout per call. Hot
+// loops should not use it; they read the layout once via ScanTable (or
+// for the dfa package itself, the specialized loops in Runner.Feed).
 func (d *DFA) Next(state uint32, c byte) uint32 {
-	return d.trans[int(state)*regexparse.AlphabetSize+int(c)]
+	if d.classOf == nil {
+		return d.trans[int(state)*regexparse.AlphabetSize+int(c)]
+	}
+	return d.trans[int(state)*d.numClasses+int(d.classOf[c])] / uint32(d.numClasses)
 }
 
 // Accepting reports whether a state has a non-empty decision set.
@@ -265,10 +309,53 @@ func (d *DFA) Matches(state uint32) []int32 {
 	return d.accepts[state-d.acceptStart]
 }
 
-// TransitionTable returns the flat row-major transition table
-// (NumStates×256). It is shared, not copied: callers must treat it as
-// read-only. The HFA and XFA baselines repack it into their own layouts.
-func (d *DFA) TransitionTable() []uint32 { return d.trans }
+// TransitionTable returns a flat row-major transition table
+// (NumStates×256) regardless of layout: for a flat DFA it is the table
+// itself (shared — callers must treat it as read-only), for a classed
+// DFA it is a freshly materialized expansion through the class map. The
+// HFA and XFA baselines repack it into their own layouts; they compile
+// with LayoutFlat so the expansion copy never happens in practice.
+func (d *DFA) TransitionTable() []uint32 { return d.flattened() }
+
+// ScanTable returns the hot-loop view of the transition function: the
+// raw table, the byte→class map, and the row stride. classOf is nil for
+// the flat layout (stride 256, index state*256+b, entries are state
+// numbers). For the classed layout the walk runs over pre-scaled row
+// bases: st starts at state*stride, steps as st = trans[st+classOf[b]],
+// and st/stride recovers the state number (for accept-set indexing and
+// context save/restore). All three are shared, read-only views;
+// composite engines (the MFA) cache them once and inline the walk.
+func (d *DFA) ScanTable() (trans []uint32, classOf []uint8, stride int) {
+	return d.trans, d.classOf, d.numClasses
+}
+
+// Layout reports the table representation: LayoutFlat or LayoutClassed
+// (never LayoutAuto — Auto resolves at construction time).
+func (d *DFA) Layout() Layout {
+	if d.classOf == nil {
+		return LayoutFlat
+	}
+	return LayoutClassed
+}
+
+// NumClasses returns the number of byte equivalence classes, which is
+// also the table's row stride: 256 for the flat layout.
+func (d *DFA) NumClasses() int { return d.numClasses }
+
+// ClassMap returns the 256-entry byte→class map of a classed DFA, or
+// nil for the flat layout. Shared, read-only.
+func (d *DFA) ClassMap() []uint8 { return d.classOf }
+
+// TableBytes returns the size of the transition table plus, for the
+// classed layout, its class map — the footprint the layout choice
+// trades against scan-loop load count.
+func (d *DFA) TableBytes() int {
+	n := len(d.trans) * 4
+	if d.classOf != nil {
+		n += len(d.classOf)
+	}
+	return n
+}
 
 // AcceptStart returns the first accepting state id; states in
 // [AcceptStart, NumStates) are exactly the accepting states.
@@ -279,10 +366,11 @@ func (d *DFA) AcceptStart() uint32 { return d.acceptStart }
 // inline the scan loop without a per-state method call.
 func (d *DFA) AcceptSets() [][]int32 { return d.accepts }
 
-// MemoryImageBytes returns the contiguous memory needed for matching: the
-// flat transition table plus the accept-set arrays and their index.
+// MemoryImageBytes returns the contiguous memory needed for matching:
+// the transition table in its actual layout (plus class map), and the
+// accept-set arrays with their index.
 func (d *DFA) MemoryImageBytes() int {
-	total := len(d.trans) * 4
+	total := d.TableBytes()
 	total += len(d.accepts) * 8 // offset/length index per accepting state
 	for _, m := range d.accepts {
 		total += len(m) * 4

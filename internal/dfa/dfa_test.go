@@ -261,12 +261,22 @@ func TestFeedCountMatchesFeed(t *testing.T) {
 }
 
 func TestMemoryImage(t *testing.T) {
-	d, err := FromNFA(buildNFA(t, "abcdef"), Options{})
+	flat, err := FromNFA(buildNFA(t, "abcdef"), Options{Layout: LayoutFlat})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := d.NumStates() * 256 * 4
-	if d.MemoryImageBytes() < want {
-		t.Fatalf("image %d smaller than bare table %d", d.MemoryImageBytes(), want)
+	if want := flat.NumStates() * 256 * 4; flat.MemoryImageBytes() < want {
+		t.Fatalf("flat image %d smaller than bare table %d", flat.MemoryImageBytes(), want)
+	}
+	classed, err := FromNFA(buildNFA(t, "abcdef"), Options{Layout: LayoutClassed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := classed.NumStates() * classed.NumClasses() * 4; classed.MemoryImageBytes() < want {
+		t.Fatalf("classed image %d smaller than bare table %d", classed.MemoryImageBytes(), want)
+	}
+	if classed.MemoryImageBytes() >= flat.MemoryImageBytes() {
+		t.Fatalf("classed image %d not smaller than flat %d (only %d classes used)",
+			classed.MemoryImageBytes(), flat.MemoryImageBytes(), classed.NumClasses())
 	}
 }

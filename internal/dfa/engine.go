@@ -5,7 +5,9 @@ package dfa
 type MatchFunc = func(id int32, pos int64)
 
 // Engine wraps a DFA for scanning. It is immutable and safe for
-// concurrent use; per-flow state lives in Runner.
+// concurrent use by any number of goroutines; per-flow state lives in
+// Runner. The engine works identically over both table layouts — the
+// scan loops specialize on layout once per Feed call, never per byte.
 type Engine struct {
 	d *DFA
 }
@@ -18,6 +20,12 @@ func (e *Engine) DFA() *DFA { return e.d }
 
 // Runner is the per-flow context of a DFA scan: a single automaton state
 // and the running byte offset — the (q) half of the paper's (q, m) pair.
+//
+// Lifecycle: obtain one per flow from Engine.NewRunner, Feed it the
+// flow's bytes in order (split across calls at any boundary), and either
+// Reset it for a new flow or save/restore its position with
+// State/SetState when flows are multiplexed. A Runner is not safe for
+// concurrent use; any number of Runners may share one Engine.
 type Runner struct {
 	e     *Engine
 	state uint32
@@ -39,7 +47,10 @@ func (r *Runner) Reset() {
 func (r *Runner) Pos() int64 { return r.pos }
 
 // State returns the current DFA state, exposed so composite engines (the
-// MFA) can persist and restore per-flow contexts.
+// MFA) can persist and restore per-flow contexts. State numbering is a
+// property of the automaton, not the table layout: a state saved from a
+// classed engine restores into a flat one built from the same NFA, and
+// vice versa.
 func (r *Runner) State() uint32 { return r.state }
 
 // SetState restores a previously saved state.
@@ -50,21 +61,44 @@ func (r *Runner) SetState(s uint32, pos int64) {
 
 // Feed advances the runner over data, invoking onMatch for every element
 // of the decision set of each visited accepting state. This is the hot
-// loop of the whole system: one table load and one compare per byte.
+// loop of the whole system. The layout is resolved once per call: the
+// flat loop is one table load and one compare per byte; the classed loop
+// adds one load from the 256-byte class map (always L1-resident) in
+// exchange for the much smaller — and therefore cache-resident — state
+// table. The classed walk runs over pre-scaled row bases (st =
+// trans[st+classOf[b]], no multiply per byte); conversion to and from
+// state numbers happens once per call, so State/SetState stay
+// layout-independent.
 func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	d := r.e.d
 	state := r.state
 	pos := r.pos
 	trans := d.trans
 	acceptStart := d.acceptStart
-	for i := 0; i < len(data); i++ {
-		state = trans[int(state)<<8|int(data[i])]
-		if state >= acceptStart {
-			for _, id := range d.accepts[state-acceptStart] {
-				onMatch(id, pos)
+	if classOf := d.classOf; classOf != nil {
+		k := uint32(d.numClasses)
+		st := state * k
+		scaledAccept := acceptStart * k
+		for i := 0; i < len(data); i++ {
+			st = trans[st+uint32(classOf[data[i]])]
+			if st >= scaledAccept {
+				for _, id := range d.accepts[(st-scaledAccept)/k] {
+					onMatch(id, pos)
+				}
 			}
+			pos++
 		}
-		pos++
+		state = st / k
+	} else {
+		for i := 0; i < len(data); i++ {
+			state = trans[int(state)<<8|int(data[i])]
+			if state >= acceptStart {
+				for _, id := range d.accepts[state-acceptStart] {
+					onMatch(id, pos)
+				}
+			}
+			pos++
+		}
 	}
 	r.state = state
 	r.pos = pos
@@ -80,10 +114,23 @@ func (r *Runner) FeedCount(data []byte) int64 {
 	trans := d.trans
 	acceptStart := d.acceptStart
 	var count int64
-	for i := 0; i < len(data); i++ {
-		state = trans[int(state)<<8|int(data[i])]
-		if state >= acceptStart {
-			count += int64(len(d.accepts[state-acceptStart]))
+	if classOf := d.classOf; classOf != nil {
+		k := uint32(d.numClasses)
+		st := state * k
+		scaledAccept := acceptStart * k
+		for i := 0; i < len(data); i++ {
+			st = trans[st+uint32(classOf[data[i]])]
+			if st >= scaledAccept {
+				count += int64(len(d.accepts[(st-scaledAccept)/k]))
+			}
+		}
+		state = st / k
+	} else {
+		for i := 0; i < len(data); i++ {
+			state = trans[int(state)<<8|int(data[i])]
+			if state >= acceptStart {
+				count += int64(len(d.accepts[state-acceptStart]))
+			}
 		}
 	}
 	r.state = state

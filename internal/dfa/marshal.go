@@ -10,32 +10,87 @@ import (
 
 // Serialization of compiled automata. The format is a simple
 // little-endian framing, versioned so stored engines fail loudly rather
-// than misbehave after an incompatible change:
+// than misbehave after an incompatible change.
+//
+// Version 2 (written by WriteTo, carries the table layout):
+//
+//	magic "MFDFA2\n", u32 numStates, u32 start, u32 acceptStart
+//	u8 layout (0 = flat, 1 = classed), u32 numClasses
+//	classed only: 256 × u8 byte→class map
+//	u32 tableLen — must equal numStates × numClasses (ErrTableSize)
+//	tableLen × u32 transition table
+//	u32 numAccept, then per accepting state: u32 count, count × i32 ids
+//
+// Version 1 (flat only, still readable so images written by older
+// mfabuild binaries keep loading):
 //
 //	magic "MFDFA1\n", u32 numStates, u32 start, u32 acceptStart
 //	numStates*256 × u32 transition table
 //	u32 numAccept, then per accepting state: u32 count, count × i32 ids
-const dfaMagic = "MFDFA1\n"
+const (
+	dfaMagicV1 = "MFDFA1\n"
+	dfaMagicV2 = "MFDFA2\n"
+)
+
+// Layout wire codes of the v2 header.
+const (
+	wireLayoutFlat    = 0
+	wireLayoutClassed = 1
+)
 
 // ErrBadFormat is returned (wrapped) when decoding unrecognized or
 // corrupt data.
 var ErrBadFormat = errors.New("dfa: bad serialized format")
 
-// WriteTo serializes the automaton. It implements io.WriterTo.
+// ErrTableSize is returned (wrapped, alongside ErrBadFormat) when a
+// serialized transition table's declared length disagrees with
+// numStates × numClasses. Before the explicit length field, such a
+// mismatch silently shifted the decode frame and produced an automaton
+// that misbehaved at scan time; now it is a typed decode failure, in the
+// style of the internal/pcap error taxonomy.
+var ErrTableSize = errors.New("dfa: transition table size mismatch")
+
+// WriteTo serializes the automaton in the v2 format. It implements
+// io.WriterTo. An internally inconsistent receiver (table length not
+// equal to numStates × numClasses — impossible for automata built by
+// this package, but conceivable for a hand-assembled one) is rejected
+// with ErrTableSize rather than written as an undecodable stream.
 func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	if len(d.trans) != d.numStates*d.numClasses {
+		return 0, fmt.Errorf("%w: table has %d entries, want %d states × %d classes = %d",
+			ErrTableSize, len(d.trans), d.numStates, d.numClasses, d.numStates*d.numClasses)
+	}
 	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	write := func(v any) {
 		if cw.err == nil {
 			cw.err = binary.Write(cw, binary.LittleEndian, v)
 		}
 	}
-	if _, err := cw.Write([]byte(dfaMagic)); err != nil {
+	if _, err := cw.Write([]byte(dfaMagicV2)); err != nil {
 		return cw.n, err
 	}
 	write(uint32(d.numStates))
 	write(d.start)
 	write(d.acceptStart)
-	write(d.trans)
+	// The wire format always carries plain state numbers: classed tables
+	// are unscaled on encode (their in-memory entries are pre-scaled row
+	// bases) and rescaled on decode, keeping stored images portable and
+	// the per-entry bounds check meaningful.
+	wireTrans := d.trans
+	if d.classOf == nil {
+		write(uint8(wireLayoutFlat))
+		write(uint32(d.numClasses))
+	} else {
+		write(uint8(wireLayoutClassed))
+		write(uint32(d.numClasses))
+		write(d.classOf)
+		wireTrans = make([]uint32, len(d.trans))
+		for i, to := range d.trans {
+			wireTrans[i] = to / uint32(d.numClasses)
+		}
+	}
+	write(uint32(len(wireTrans)))
+	write(wireTrans)
 	write(uint32(len(d.accepts)))
 	for _, ids := range d.accepts {
 		write(uint32(len(ids)))
@@ -47,25 +102,31 @@ func (d *DFA) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
-// ReadDFA deserializes an automaton written by WriteTo, validating
-// structural invariants so a corrupt file cannot produce out-of-range
-// states at scan time.
+// ReadDFA deserializes an automaton written by WriteTo (either format
+// version), validating structural invariants so a corrupt file cannot
+// produce out-of-range states or classes at scan time.
 //
 // ReadDFA never reads past the end of the serialized automaton, so it
 // composes with further sections on the same stream; callers should pass
 // an already-buffered reader (it performs many small reads).
 func ReadDFA(r io.Reader) (*DFA, error) {
-	br := r
-	magic := make([]byte, len(dfaMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	magic := make([]byte, len(dfaMagicV2))
+	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
-	if string(magic) != dfaMagic {
+	var version int
+	switch string(magic) {
+	case dfaMagicV1:
+		version = 1
+	case dfaMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
 	}
+
 	var numStates, start, acceptStart uint32
 	for _, v := range []*uint32{&numStates, &start, &acceptStart} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
 		}
 	}
@@ -81,17 +142,61 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 	d := &DFA{
 		numStates:   int(numStates),
 		start:       start,
+		numClasses:  256,
 		acceptStart: acceptStart,
 	}
+
+	declaredLen := int(numStates) * 256
+	if version >= 2 {
+		var layout uint8
+		if err := binary.Read(r, binary.LittleEndian, &layout); err != nil {
+			return nil, fmt.Errorf("%w: layout: %v", ErrBadFormat, err)
+		}
+		var numClasses uint32
+		if err := binary.Read(r, binary.LittleEndian, &numClasses); err != nil {
+			return nil, fmt.Errorf("%w: class count: %v", ErrBadFormat, err)
+		}
+		switch layout {
+		case wireLayoutFlat:
+			if numClasses != 256 {
+				return nil, fmt.Errorf("%w: flat layout with %d classes", ErrBadFormat, numClasses)
+			}
+		case wireLayoutClassed:
+			if numClasses == 0 || numClasses > 256 {
+				return nil, fmt.Errorf("%w: implausible class count %d", ErrBadFormat, numClasses)
+			}
+			d.numClasses = int(numClasses)
+			d.classOf = make([]uint8, 256)
+			if _, err := io.ReadFull(r, d.classOf); err != nil {
+				return nil, fmt.Errorf("%w: class map: %v", ErrBadFormat, err)
+			}
+			for b, c := range d.classOf {
+				if int(c) >= d.numClasses {
+					return nil, fmt.Errorf("%w: byte %#x maps to class %d of %d", ErrBadFormat, b, c, d.numClasses)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown layout code %d", ErrBadFormat, layout)
+		}
+		var tableLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &tableLen); err != nil {
+			return nil, fmt.Errorf("%w: table length: %v", ErrBadFormat, err)
+		}
+		if int(tableLen) != int(numStates)*d.numClasses {
+			return nil, fmt.Errorf("%w: %w: declared %d entries, want %d states × %d classes = %d",
+				ErrBadFormat, ErrTableSize, tableLen, numStates, d.numClasses, int(numStates)*d.numClasses)
+		}
+		declaredLen = int(tableLen)
+	}
+
 	// Read the table in bounded chunks, growing with the data actually
 	// present, so a corrupt header on a truncated stream fails after at
 	// most one chunk instead of allocating the full claimed table.
-	total := int(numStates) * 256
-	d.trans = make([]uint32, 0, min(total, 1<<18))
+	d.trans = make([]uint32, 0, min(declaredLen, 1<<18))
 	chunk := make([]uint32, 1<<18)
-	for len(d.trans) < total {
-		k := min(total-len(d.trans), len(chunk))
-		if err := binary.Read(br, binary.LittleEndian, chunk[:k]); err != nil {
+	for len(d.trans) < declaredLen {
+		k := min(declaredLen-len(d.trans), len(chunk))
+		if err := binary.Read(r, binary.LittleEndian, chunk[:k]); err != nil {
 			return nil, fmt.Errorf("%w: transition table: %v", ErrBadFormat, err)
 		}
 		d.trans = append(d.trans, chunk[:k]...)
@@ -101,8 +206,14 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 			return nil, fmt.Errorf("%w: transition to state %d of %d", ErrBadFormat, to, numStates)
 		}
 	}
+	if d.classOf != nil {
+		// Restore the in-memory pre-scaled form (entries are row bases).
+		for i := range d.trans {
+			d.trans[i] *= uint32(d.numClasses)
+		}
+	}
 	var numAccept uint32
-	if err := binary.Read(br, binary.LittleEndian, &numAccept); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, &numAccept); err != nil {
 		return nil, fmt.Errorf("%w: accept count: %v", ErrBadFormat, err)
 	}
 	if numAccept != numStates-acceptStart {
@@ -111,14 +222,14 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 	d.accepts = make([][]int32, numAccept)
 	for i := range d.accepts {
 		var count uint32
-		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 			return nil, fmt.Errorf("%w: accept set %d: %v", ErrBadFormat, i, err)
 		}
 		if count == 0 || count > 1<<20 {
 			return nil, fmt.Errorf("%w: accept set %d has %d ids", ErrBadFormat, i, count)
 		}
 		ids := make([]int32, count)
-		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
 			return nil, fmt.Errorf("%w: accept set %d: %v", ErrBadFormat, i, err)
 		}
 		d.accepts[i] = ids

@@ -13,7 +13,24 @@ import (
 // by their exact decision set, so multi-match semantics are preserved: two
 // states merge only if they report identical match-id sets and have
 // pairwise-equivalent successors on every byte.
+//
+// minimize is layout-preserving: the refinement itself runs on the flat
+// table (FromNFA calls it before applyLayout), and a classed receiver is
+// flattened, minimized, and re-compressed. Byte-class compression is a
+// column quotient and commutes with this row quotient, so the order
+// loses nothing.
 func (d *DFA) minimize() *DFA {
+	if d.classOf != nil {
+		flat := &DFA{
+			numStates:   d.numStates,
+			start:       d.start,
+			trans:       d.flattened(),
+			numClasses:  regexparse.AlphabetSize,
+			acceptStart: d.acceptStart,
+			accepts:     d.accepts,
+		}
+		return flat.minimize().compressed()
+	}
 	n := d.numStates
 	group := make([]uint32, n)
 
@@ -112,6 +129,7 @@ func (d *DFA) rebuild(group []uint32, numGroups int) *DFA {
 		numStates:   numGroups,
 		start:       perm[group[d.start]],
 		trans:       make([]uint32, numGroups*regexparse.AlphabetSize),
+		numClasses:  regexparse.AlphabetSize,
 		acceptStart: acceptStart,
 		accepts:     make([][]int32, numAccept),
 	}

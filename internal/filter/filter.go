@@ -8,6 +8,12 @@
 // a bit to clear, and a match id to report. Set and clear are applied and
 // the report emitted only when the test passes; a failed test drops the
 // match with no memory change.
+//
+// Concurrency: a Program is mutated only during construction (SetAction,
+// AddClearGroup); once handed to an engine it is treated as immutable and
+// is safe for concurrent use by any number of flows. All per-flow mutable
+// state lives in Memory and Registers, which belong to exactly one flow
+// and are not safe for concurrent use.
 package filter
 
 import (
@@ -134,6 +140,10 @@ type ClearOp struct {
 // match id (Di), the memory width w, and the number of position
 // registers the counting extension uses. Internal id 0 is reserved and
 // never used, so the table's entry 0 stays the drop action.
+//
+// A Program is immutable after construction (the SetAction/AddClearGroup
+// phase) and safe for concurrent use; Apply and ApplyAt mutate only the
+// Memory and Registers passed in, never the Program itself.
 type Program struct {
 	actions     []Action
 	memBits     int
@@ -272,6 +282,8 @@ func (p *Program) String() string {
 
 // Memory is one flow's w-bit filter memory, initialized to all zeros by
 // convention (§III-A). It is the (m) half of the paper's (q, m) pair.
+// Like any per-flow context it is owned by one flow at a time and not
+// safe for concurrent use.
 type Memory []uint64
 
 // NewMemory allocates a zeroed memory for the program's width.

@@ -101,7 +101,10 @@ func Compile(rules []Rule, opts Options) (*HFA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hfa: %w", err)
 	}
-	d, err := dfa.FromNFA(n, dfa.Options{MaxStates: opts.MaxStates})
+	// The HFA repacks the flat 256-wide table into its 8-byte history
+	// cells below; request that layout directly rather than expanding a
+	// classed table back out.
+	d, err := dfa.FromNFA(n, dfa.Options{MaxStates: opts.MaxStates, Layout: dfa.LayoutFlat})
 	if err != nil {
 		return nil, fmt.Errorf("hfa: %w", err)
 	}

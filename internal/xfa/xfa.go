@@ -103,7 +103,10 @@ func Compile(rules []Rule, opts Options) (*XFA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xfa: %w", err)
 	}
-	d, err := dfa.FromNFA(n, dfa.Options{MaxStates: opts.MaxStates})
+	// The XFA baseline keeps the paper's flat one-load-per-byte table —
+	// it is the layout the original XFA work assumes, and Compile
+	// repacks TransitionTable directly below.
+	d, err := dfa.FromNFA(n, dfa.Options{MaxStates: opts.MaxStates, Layout: dfa.LayoutFlat})
 	if err != nil {
 		return nil, fmt.Errorf("xfa: %w", err)
 	}
