@@ -35,6 +35,7 @@ func run() error {
 	showFragments := flag.Bool("fragments", false, "list the decomposed fragments")
 	maxStates := flag.Int("max-states", 0, "DFA state budget (0 = default)")
 	output := flag.String("o", "", "write the compiled engine to this file for mfascan -engine")
+	check := flag.Bool("check", true, "self-check the compiled automaton (scan a built-in trace, round-trip a flow context) before reporting or writing it")
 	flag.Parse()
 
 	rules, sources, err := loadRules(*set, *rulesFile)
@@ -47,6 +48,11 @@ func run() error {
 	m, err := core.Compile(rules, opts)
 	if err != nil {
 		return err
+	}
+	if *check {
+		if err := m.SelfCheck(); err != nil {
+			return err
+		}
 	}
 
 	st := m.Stats()

@@ -22,6 +22,14 @@
 // the match-event ring) and /debug/pprof. The admin server drains
 // gracefully under the same -drain-timeout bound as the engine.
 //
+// Hot reload (DESIGN.md §14): SIGHUP or POST /reload re-reads the
+// original -engine/-set/-rules source, validates the candidate (decode,
+// compile, self-check scan), and swaps it in as a new pattern generation
+// without dropping in-flight flows; -reload-policy picks whether those
+// flows finish on the old generation (drain) or restart matching on the
+// new one (reset). A reload that fails validation leaves the running
+// generation untouched and bumps mfa_reload_failure_total.
+//
 // Usage:
 //
 //	mfabuild -set C8 -o c8.eng
@@ -39,8 +47,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"matchfilter/internal/core"
@@ -89,12 +100,22 @@ func run() (int, error) {
 	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	statsEvery := flag.Duration("stats", 0, "print a stats line to stderr at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the report")
-	adminAddr := flag.String("admin", "", "serve the admin HTTP surface (/metrics, /statsz, /healthz, /events, pprof) on this address, e.g. :9090 (empty = off)")
+	adminAddr := flag.String("admin", "", "serve the admin HTTP surface (/metrics, /statsz, /healthz, /events, /reload, pprof) on this address, e.g. :9090 (empty = off)")
 	eventsCap := flag.Int("events", 1024, "match-event ring capacity served by /events")
+	reloadPolicy := flag.String("reload-policy", "drain", "in-flight flows on a pattern hot reload: drain (finish on the old generation) or reset (restart matching on the new one)")
 	flag.Parse()
 
+	policy, err := engine.ParseReloadPolicy(*reloadPolicy)
+	if err != nil {
+		return exitError, err
+	}
 	m, sources, err := loadEngine(*engineFile, *set, *rulesFile)
 	if err != nil {
+		return exitError, err
+	}
+	// The same validation gate a hot reload passes through: a daemon must
+	// not start serving on an image it would refuse to swap in.
+	if err := m.SelfCheck(); err != nil {
 		return exitError, err
 	}
 
@@ -104,6 +125,12 @@ func run() (int, error) {
 	}
 	defer in.Close()
 
+	// cur is the serving pattern set; a hot reload swaps it. Matches in
+	// flight on an older generation still print against the current
+	// sources (cosmetic: rule text may lag the automaton that matched).
+	var cur atomic.Pointer[loadedRules]
+	cur.Store(&loadedRules{m: m, sources: sources})
+
 	// Matches arrive concurrently from shard goroutines; serialize the
 	// report lines.
 	var mu sync.Mutex
@@ -111,8 +138,12 @@ func run() (int, error) {
 		if *quiet {
 			return
 		}
+		src := ""
+		if lr := cur.Load(); mt.ID >= 1 && int(mt.ID) <= len(lr.sources) {
+			src = lr.sources[mt.ID-1]
+		}
 		mu.Lock()
-		fmt.Printf("%s offset %d: rule %d (%s)\n", mt.Flow, mt.Pos, mt.ID, sources[mt.ID-1])
+		fmt.Printf("%s offset %d: rule %d (%s)\n", mt.Flow, mt.Pos, mt.ID, src)
 		mu.Unlock()
 	}
 
@@ -122,7 +153,8 @@ func run() (int, error) {
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventRing(*eventsCap)
 	telemetry.RegisterRuntimeMetrics(reg, start)
-	registerBuildMetrics(reg, m.Stats())
+
+	registerBuildMetrics(reg, func() core.BuildStats { return cur.Load().m.Stats() })
 
 	cfg := engine.Config{
 		Shards:        *shards,
@@ -137,6 +169,34 @@ func run() (int, error) {
 		Events:        events,
 	}
 	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
+
+	rl := &reloader{
+		engineFile: *engineFile,
+		set:        *set,
+		rulesFile:  *rulesFile,
+		policy:     policy,
+		e:          e,
+		cur:        &cur,
+	}
+	reg.CounterFunc("mfa_reload_success_total",
+		"Pattern hot reloads that validated and swapped in a new generation.",
+		func() float64 { return float64(rl.ok.Load()) })
+	reg.CounterFunc("mfa_reload_failure_total",
+		"Pattern hot reloads rejected (load, compile or self-check failure); the running generation was untouched.",
+		func() float64 { return float64(rl.fail.Load()) })
+
+	// SIGHUP triggers the same validated reload as POST /reload; a
+	// rejected reload only logs — the running generation keeps serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if _, err := rl.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "mfaserve: SIGHUP reload: %v\n", err)
+			}
+		}
+	}()
 
 	var admin *telemetry.Server
 	if *adminAddr != "" {
@@ -159,8 +219,9 @@ func run() (int, error) {
 				return struct {
 					Engine engine.Stats
 					Build  core.BuildStats
-				}{e.Stats(), m.Stats()}
+				}{e.Stats(), cur.Load().m.Stats()}
 			},
+			Reload: rl.Reload,
 		}
 		var err error
 		if admin, err = a.Start(*adminAddr); err != nil {
@@ -296,25 +357,82 @@ func progressLoop(reg *telemetry.Registry, every time.Duration, stop <-chan stru
 	}
 }
 
-// registerBuildMetrics exposes the static shape of the loaded automaton:
-// what the scan loop is actually walking (table layout, byte-class count,
-// table bytes) and the image split. Static values are still registered as
-// snapshot-time callbacks so every surface renders from one source.
-func registerBuildMetrics(reg *telemetry.Registry, st core.BuildStats) {
-	g := func(name, help string, v int) {
-		reg.GaugeFunc(name, help, func() float64 { return float64(v) })
+// loadedRules is the pattern set currently serving: the automaton plus
+// the source text its rule ids index. Swapped as one unit by a reload so
+// a match report never pairs an id from one set with text from another.
+type loadedRules struct {
+	m       *core.MFA
+	sources []string
+}
+
+// reloader re-runs the daemon's own load path against the original
+// -engine/-set/-rules argument and, when the candidate survives the
+// validation gate, swaps it into the engine as a new generation. The
+// gate runs entirely before the swap: a bad rules file (or a truncated
+// engine image, or an automaton that fails its self-check scan) is
+// rejected with the running generation untouched.
+type reloader struct {
+	mu         sync.Mutex // serializes SIGHUP against POST /reload
+	engineFile string
+	set        string
+	rulesFile  string
+	policy     engine.ReloadPolicy
+	e          *engine.Engine
+	cur        *atomic.Pointer[loadedRules]
+	ok, fail   atomic.Int64
+}
+
+func (r *reloader) Reload() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, sources, err := loadEngine(r.engineFile, r.set, r.rulesFile)
+	if err == nil {
+		err = m.SelfCheck()
 	}
-	g("mfa_build_dfa_states", "states in the character DFA", st.DFAStates)
-	g("mfa_build_dfa_table_bytes", "transition-table image bytes in its serving layout (classed includes the class map)", st.DFATableBytes)
-	g("mfa_build_dfa_classes", "byte equivalence classes of the transition table (256 = flat)", st.DFAClasses)
-	g("mfa_build_image_bytes", "total static memory image (DFA + filter program)", st.MemoryImageBytes())
-	g("mfa_build_mem_bits", "per-flow filter memory width w", st.MemBits)
-	// Info-style metric: the layout name rides in the label, value is
-	// always 1.
-	reg.GaugeFunc("mfa_build_dfa_layout_info",
-		"transition-table layout of the loaded engine (flat or classed)",
-		func() float64 { return 1 },
-		telemetry.L("layout", st.DFALayout))
+	if err != nil {
+		r.fail.Add(1)
+		return 0, fmt.Errorf("reload rejected, generation %d keeps serving: %w", r.e.Generation(), err)
+	}
+	gen, err := r.e.Reload(func() flow.Runner { return m.NewRunner() }, r.policy)
+	if err != nil {
+		r.fail.Add(1)
+		return 0, err
+	}
+	r.cur.Store(&loadedRules{m: m, sources: sources})
+	r.ok.Add(1)
+	fmt.Fprintf(os.Stderr, "mfaserve: reloaded %d rules as generation %d (policy %s)\n",
+		len(sources), gen, r.policy)
+	return gen, nil
+}
+
+// registerBuildMetrics exposes the static shape of the serving automaton:
+// what the scan loop is actually walking (table layout, byte-class count,
+// table bytes) and the image split. The values are callbacks over the
+// current pattern set, so a hot reload is reflected on the next scrape.
+func registerBuildMetrics(reg *telemetry.Registry, cur func() core.BuildStats) {
+	g := func(name, help string, v func(core.BuildStats) int) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(v(cur())) })
+	}
+	g("mfa_build_dfa_states", "states in the character DFA", func(st core.BuildStats) int { return st.DFAStates })
+	g("mfa_build_dfa_table_bytes", "transition-table image bytes in its serving layout (classed includes the class map)", func(st core.BuildStats) int { return st.DFATableBytes })
+	g("mfa_build_dfa_classes", "byte equivalence classes of the transition table (256 = flat)", func(st core.BuildStats) int { return st.DFAClasses })
+	g("mfa_build_image_bytes", "total static memory image (DFA + filter program)", func(st core.BuildStats) int { return st.MemoryImageBytes() })
+	g("mfa_build_mem_bits", "per-flow filter memory width w", func(st core.BuildStats) int { return st.MemBits })
+	// Info-style metric: the layout name rides in the label, value is 1
+	// on the serving layout's series. Both layouts are registered so the
+	// series set is stable across reloads that change layout.
+	for _, layout := range []string{"flat", "classed"} {
+		layout := layout
+		reg.GaugeFunc("mfa_build_dfa_layout_info",
+			"transition-table layout of the serving engine (1 on the active layout's series)",
+			func() float64 {
+				if cur().DFALayout == layout {
+					return 1
+				}
+				return 0
+			},
+			telemetry.L("layout", layout))
+	}
 }
 
 // report renders the end-of-run stats block.

@@ -206,7 +206,9 @@ func TestCountingContextRoundTrip(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("fresh flow must not match: %v", got)
 	}
-	r.SetContext(state, mem, regs, pos)
+	if err := r.SetContext(state, mem, regs, pos); err != nil {
+		t.Fatal(err)
+	}
 	r.Feed([]byte(".bb"), collect)
 	if len(got) != 1 || got[0].pos != 6 {
 		t.Fatalf("restored flow: %v", got)

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -209,11 +210,34 @@ func (r *Runner) Context() (state uint32, mem filter.Memory, regs filter.Registe
 	return r.dfa.State(), r.mem.Clone(), r.regs.Clone()
 }
 
-// SetContext restores a previously saved flow context.
-func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registers, pos int64) {
-	r.dfa.SetState(state, pos)
+// ErrBadContext is returned (wrapped) by SetContext when a saved flow
+// context cannot belong to this automaton.
+var ErrBadContext = errors.New("core: invalid flow context")
+
+// SetContext restores a previously saved flow context, validating it
+// first: a DFA state outside the automaton, a negative position, or
+// memory/register images wider than this automaton's are rejected with
+// an error wrapping ErrBadContext and the runner Reset to start-of-flow
+// — a corrupted or cross-generation context must never reach the
+// inlined Feed loop, where an out-of-range state would index the
+// transition table out of bounds and panic. Shorter or nil memory and
+// register images are accepted as zero-extended: the runner's own state
+// is Reset before copying, so stale bits from its previous flow cannot
+// survive into the restored one.
+func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registers, pos int64) error {
+	if state >= uint32(r.mfa.stats.DFAStates) || pos < 0 ||
+		len(mem) > len(r.mem) || len(regs) > len(r.regs) {
+		r.Reset()
+		return fmt.Errorf("%w: state %d (of %d), pos %d, mem %d/%d words, regs %d/%d",
+			ErrBadContext, state, r.mfa.stats.DFAStates, pos,
+			len(mem), len(r.mem), len(regs), len(r.regs))
+	}
+	r.mem.Reset()
 	copy(r.mem, mem)
+	r.regs.Reset()
 	copy(r.regs, regs)
+	r.dfa.SetState(state, pos)
+	return nil
 }
 
 // Feed advances the flow over data. Every possible match from the DFA is

@@ -366,7 +366,9 @@ func TestRunnerStreamingAndContext(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("fresh flow must not match: %v", got)
 	}
-	r.SetContext(state, mem, regs, pos)
+	if err := r.SetContext(state, mem, regs, pos); err != nil {
+		t.Fatal(err)
+	}
 	r.Feed([]byte("xyz"), collect) // restored flow: match
 	if len(got) != 1 || got[0] != (event{1, 5}) {
 		t.Fatalf("restored flow: %v", got)

@@ -59,6 +59,11 @@ func (e *Engine) Close() error { return e.CloseContext(context.Background()) }
 // shards keep draining in the background, and CloseContext may be called
 // again (with a fresh context) to keep waiting.
 func (e *Engine) CloseContext(ctx context.Context) error {
+	// Unblock backpressure dispatchers first: they select on closing
+	// while holding mu's read side, and the write lock below cannot be
+	// taken while one of them is parked against a full (possibly
+	// stalled) shard queue.
+	e.closeOnce.Do(func() { close(e.closing) })
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true

@@ -157,10 +157,20 @@ type Engine struct {
 	// mu orders Handle calls against Close: dispatchers hold the read
 	// side while touching shard channels, Close takes the write side to
 	// flip closed and close the channels, so a send on a closed channel
-	// is impossible by construction.
-	mu      sync.RWMutex
-	closed  bool
-	drained chan struct{} // closed when every shard goroutine has exited
+	// is impossible by construction. A dispatcher blocked in a
+	// backpressure send selects on closing as well — Close closes it
+	// before taking the write lock, so a stalled shard's full queue can
+	// never hold the read lock forever and wedge shutdown.
+	mu        sync.RWMutex
+	closed    bool
+	closing   chan struct{} // closed at the start of Close, before the write lock
+	closeOnce sync.Once
+	drained   chan struct{} // closed when every shard goroutine has exited
+
+	// gen is the pattern generation new flows start on (reload.go).
+	// reloadMu serializes Reload calls.
+	gen      atomic.Pointer[generation]
+	reloadMu sync.Mutex
 
 	skipped    atomic.Int64 // non-TCP frames
 	queueDrops atomic.Int64 // segments dropped by DropWhenFull
@@ -191,11 +201,19 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 	e := &Engine{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
+		closing:   make(chan struct{}),
 		drained:   make(chan struct{}),
 		queueCap:  cfg.Shards * cfg.QueueDepth,
 		flowCap:   cfg.Shards * cfg.Flow.MaxFlows,
 		tierSince: time.Now(),
 	}
+	// Generation 1 is the factory the engine was built with; Reload
+	// installs successors.
+	gen1 := &generation{id: 1, newRunner: newRunner}
+	if cfg.Metrics != nil {
+		gen1.live = registerGenerationGauge(cfg.Metrics, 1)
+	}
+	e.gen.Store(gen1)
 	// Re-evaluate pressure well before any single queue can fill between
 	// two evaluations; cheap enough that small queues check every call.
 	e.evalEvery = int64(cfg.QueueDepth / 4)
@@ -210,6 +228,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		s := &shard{
 			idx:         i,
 			in:          make(chan pcap.Segment, cfg.QueueDepth),
+			wake:        make(chan struct{}, 1),
 			quarantined: make(map[pcap.FlowKey]struct{}),
 			evClock:     events != nil,
 		}
@@ -231,8 +250,15 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 				onMatch(m)
 			}
 		}
+		// rebuild consults the *current* generation, so an assembler
+		// rebuilt after corruption — or built fresh here — starts its
+		// flows on whatever pattern set is serving now, not the one the
+		// engine booted with.
 		s.rebuild = func() *flow.Assembler {
-			return flow.NewAssembler(cfg.Flow, newRunner, shardMatch)
+			g := e.gen.Load()
+			a := flow.NewAssembler(cfg.Flow, g.newRunner, shardMatch)
+			a.SetGeneration(g.flowGen(), false)
+			return a
 		}
 		s.asm = s.rebuild()
 		s.publish()
@@ -294,7 +320,18 @@ func (e *Engine) HandleSegment(seg pcap.Segment) error {
 		}
 		return nil
 	}
-	s.in <- seg
+	// Backpressure: block until the shard drains — but never while
+	// deaf to shutdown. This send holds e.mu's read side; a bare
+	// blocking send against a stalled shard (faultinject.Stall, a
+	// matcher wedged in user code) would pin the read lock forever and
+	// CloseContext could neither take the write lock nor fire its
+	// deadline. Selecting on closing bounds the hold: once Close
+	// begins, blocked dispatchers return ErrClosed and release.
+	select {
+	case s.in <- seg:
+	case <-e.closing:
+		return ErrClosed
+	}
 	return nil
 }
 
@@ -381,12 +418,24 @@ type Stats struct {
 	HardDrops  int64
 	TierEnters [3]int64
 	TierTime   [3]time.Duration
+
+	// Hot-reload state (reload.go). Generation is the id new flows
+	// start on; GenFlows maps generation id to the live flows still on
+	// it (drain-mode flows keep old generations alive until they end).
+	// FlowRestarts counts 4-tuple-reuse flow restarts; StaleRunners
+	// counts superseded-generation runners discarded instead of
+	// recycled.
+	Generation   uint64
+	GenFlows     map[uint64]int64
+	FlowRestarts int64
+	StaleRunners int64
 }
 
 // Stats aggregates the engine's counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Shards:        len(e.shards),
+		Generation:    e.gen.Load().id,
 		SkippedFrames: e.skipped.Load(),
 		QueueDrops:    e.queueDrops.Load(),
 		HardDrops:     e.hardDrops.Load(),
@@ -404,6 +453,14 @@ func (e *Engine) Stats() Stats {
 		st.EvictedCap += a.EvictedCap
 		st.EvictedIdle += a.EvictedIdle
 		st.RunnersReused += a.RunnersReused
+		st.FlowRestarts += a.FlowRestarts
+		st.StaleRunners += a.StaleRunners
+		for id, n := range a.FlowsByGen {
+			if st.GenFlows == nil {
+				st.GenFlows = make(map[uint64]int64)
+			}
+			st.GenFlows[id] += n
+		}
 		st.QueueDepth += int64(len(s.in))
 		st.ShardMatches[i] = s.matches.Load()
 		st.ShardPackets[i] = a.Packets

@@ -60,6 +60,17 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) {
 		"Flows reclaimed by idle sweeps.", sumSnap(func(a *flow.Stats) int64 { return a.EvictedIdle }))
 	reg.CounterFunc("mfa_engine_runners_reused_total",
 		"Flows served from the runner pool instead of a fresh allocation.", sumSnap(func(a *flow.Stats) int64 { return a.RunnersReused }))
+	reg.CounterFunc("mfa_engine_flow_restarts_total",
+		"Flows restarted in place by a SYN on a live 4-tuple (connection reuse).", sumSnap(func(a *flow.Stats) int64 { return a.FlowRestarts }))
+	reg.CounterFunc("mfa_engine_stale_runners_total",
+		"Superseded-generation runners discarded instead of recycled.", sumSnap(func(a *flow.Stats) int64 { return a.StaleRunners }))
+
+	// Hot-reload state (reload.go). The per-generation live-flow gauges
+	// (mfa_generation_live_flows) are registered as generations are
+	// installed, in New and Reload.
+	reg.GaugeFunc("mfa_generation",
+		"Pattern generation new flows start on; bumps on every successful hot reload.",
+		func() float64 { return float64(e.gen.Load().id) })
 
 	reg.CounterFunc("mfa_engine_matches_total",
 		"Confirmed matches delivered (exact at all times).",

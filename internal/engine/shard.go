@@ -48,6 +48,13 @@ type shard struct {
 	// touches it.
 	quarantined map[pcap.FlowKey]struct{}
 
+	// Hot-reload plumbing (reload.go): genCmd holds the newest pending
+	// generation swap (applied on the shard goroutine before the next
+	// segment); wake nudges an idle shard so a swap is not stuck behind
+	// a quiet queue.
+	genCmd atomic.Pointer[genCommand]
+	wake   chan struct{}
+
 	// matches is updated on every confirmed match; snap mirrors the
 	// assembler's counters every statsEvery segments and at exit, so
 	// outside observers never touch the assembler itself.
@@ -98,6 +105,8 @@ func (s *shard) publish() {
 	st.EvictedCap += s.base.EvictedCap
 	st.EvictedIdle += s.base.EvictedIdle
 	st.RunnersReused += s.base.RunnersReused
+	st.FlowRestarts += s.base.FlowRestarts
+	st.StaleRunners += s.base.StaleRunners
 	s.snap.Store(&st)
 }
 
@@ -115,7 +124,28 @@ func (s *shard) run(e *Engine) {
 	}
 	appliedTier := TierNormal
 	var n int64
-	for seg := range s.in {
+	for {
+		var seg pcap.Segment
+		var ok bool
+		select {
+		case seg, ok = <-s.in:
+		case <-s.wake:
+			// Generation swap on an otherwise idle shard: apply it now
+			// rather than when the next segment happens to arrive, so a
+			// reload's gauges and reset policy take effect promptly
+			// engine-wide.
+			s.applyGeneration(e)
+			continue
+		}
+		if !ok {
+			return
+		}
+		// Apply a pending swap before scanning, so every segment
+		// dispatched after Reload returned is scanned post-swap (a flow
+		// it creates starts on the new generation).
+		if s.genCmd.Load() != nil {
+			s.applyGeneration(e)
+		}
 		n++
 		if n%statsEvery == 0 {
 			s.publish()
@@ -231,4 +261,6 @@ func (s *shard) addBase(st flow.Stats) {
 	s.base.EvictedCap += st.EvictedCap
 	s.base.EvictedIdle += st.EvictedIdle
 	s.base.RunnersReused += st.RunnersReused
+	s.base.FlowRestarts += st.FlowRestarts
+	s.base.StaleRunners += st.StaleRunners
 }

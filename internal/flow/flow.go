@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"matchfilter/internal/pcap"
 )
@@ -58,13 +57,18 @@ type Config struct {
 // assemblers allocate one runner per *concurrent* flow, not per
 // connection. An Assembler is not safe for concurrent use.
 type Assembler struct {
-	cfg       Config
-	newRunner func() Runner
-	flows     map[pcap.FlowKey]*flowCtx
-	lru       *list.List // *flowCtx; front = most recently seen
-	pool      sync.Pool  // recycled Runners, already Reset
-	onMatch   func(Match)
-	now       int64 // logical clock: segments handled so far
+	cfg   Config
+	flows map[pcap.FlowKey]*flowCtx
+	lru   *list.List // *flowCtx; front = most recently seen
+	// free recycles Reset runners of the *current* generation across
+	// flows. The assembler is single-threaded, so a plain bounded slice
+	// beats sync.Pool and makes generation hygiene trivial: SetGeneration
+	// empties it, so a stale runner can never serve a new-generation flow.
+	free    []Runner
+	gen     *genState            // generation new flows start on
+	gens    map[uint64]*genState // generations with live flows (plus gen)
+	onMatch func(Match)
+	now     int64 // logical clock: segments handled so far
 	// Stats.
 	packets       int64
 	payloadBytes  int64
@@ -75,15 +79,23 @@ type Assembler struct {
 	evictedCap    int64
 	evictedIdle   int64
 	runnersReused int64
+	flowRestarts  int64
+	staleRunners  int64
 	// Live gauge accounting (gauges.go); no-ops when Config.Gauges is nil.
 	gLive    gaugeAcct
 	gPending gaugeAcct
 	gBytes   gaugeAcct
 }
 
+// maxFreeRunners bounds the recycled-runner free list. sync.Pool shed
+// entries on GC; a slice does not, so a burst of concurrent flows must
+// not pin runner memory forever.
+const maxFreeRunners = 4096
+
 type flowCtx struct {
 	key      pcap.FlowKey
 	runner   Runner
+	gen      *genState // generation the runner was built for
 	nextSeq  uint32
 	started  bool
 	lastSeen int64 // assembler clock at the flow's latest segment
@@ -104,12 +116,13 @@ func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Ass
 		cfg.MaxBufferedSegments = 64
 	}
 	a := &Assembler{
-		cfg:       cfg,
-		newRunner: newRunner,
-		flows:     make(map[pcap.FlowKey]*flowCtx),
-		lru:       list.New(),
-		onMatch:   onMatch,
+		cfg:     cfg,
+		flows:   make(map[pcap.FlowKey]*flowCtx),
+		lru:     list.New(),
+		onMatch: onMatch,
 	}
+	a.gen = &genState{gen: Generation{ID: 0, New: newRunner}}
+	a.gens = map[uint64]*genState{0: a.gen}
 	if g := cfg.Gauges; g != nil {
 		a.gLive.g = g.LiveFlows
 		a.gPending.g = g.PendingSegments
@@ -136,11 +149,24 @@ type Stats struct {
 	// RunnersReused counts new flows served from the runner pool instead
 	// of a fresh newRunner allocation.
 	RunnersReused int64
+	// FlowRestarts counts 4-tuple reuse: a SYN arriving on a live flow
+	// restarts it as a fresh connection (runner reset, out-of-order
+	// buffer cleared) instead of bleeding the old connection's state.
+	FlowRestarts int64
+	// StaleRunners counts old-generation runners discarded instead of
+	// recycled after a SetGeneration swap.
+	StaleRunners int64
+	// Generation is the generation id new flows start on; FlowsByGen
+	// maps generation id to its live flows. FlowsByGen is nil until
+	// SetGeneration has been called (the sequential scan path never
+	// pays for it).
+	Generation uint64
+	FlowsByGen map[uint64]int64
 }
 
 // Stats returns the counters accumulated so far.
 func (a *Assembler) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Packets:       a.packets,
 		PayloadBytes:  a.payloadBytes,
 		Flows:         len(a.flows),
@@ -151,7 +177,17 @@ func (a *Assembler) Stats() Stats {
 		EvictedCap:    a.evictedCap,
 		EvictedIdle:   a.evictedIdle,
 		RunnersReused: a.runnersReused,
+		FlowRestarts:  a.flowRestarts,
+		StaleRunners:  a.staleRunners,
+		Generation:    a.gen.gen.ID,
 	}
+	if a.gen.gen.ID != 0 || len(a.gens) > 1 {
+		st.FlowsByGen = make(map[uint64]int64, len(a.gens))
+		for id, g := range a.gens {
+			st.FlowsByGen[id] = g.flows
+		}
+	}
+	return st
 }
 
 // HandleFrame decodes one Ethernet frame and advances its flow. Non-TCP
@@ -184,11 +220,14 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 		ctx = &flowCtx{
 			key:     seg.Key,
 			runner:  a.getRunner(),
+			gen:     a.gen,
 			pending: make(map[uint32][]byte),
 		}
 		ctx.elem = a.lru.PushFront(ctx)
 		a.flows[seg.Key] = ctx
 		a.flowsTotal++
+		a.gen.flows++
+		a.gen.live.add(1)
 		a.gLive.add(1)
 	} else {
 		a.lru.MoveToFront(ctx.elem)
@@ -196,6 +235,14 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 	ctx.lastSeen = a.now
 
 	if seg.Flags&pcap.FlagSYN != 0 {
+		if ok {
+			// 4-tuple reuse: the previous connection's FIN/RST was missed
+			// and the key is back in service. Without a full restart the
+			// old connection's DFA state, filter memory and out-of-order
+			// buffer would bleed into the new one (false test-bit
+			// confirmations on bytes the new connection never sent).
+			a.restartFlow(ctx)
+		}
 		ctx.nextSeq = seg.Seq + 1
 		ctx.started = true
 		return
@@ -216,24 +263,63 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 	}
 }
 
-// getRunner takes a recycled runner from the pool or allocates a fresh
-// one. Pooled runners were Reset when put, so they are start-of-flow.
+// getRunner takes a recycled runner from the free list or allocates a
+// fresh one from the current generation. Free-listed runners were Reset
+// when put and always belong to the current generation (SetGeneration
+// empties the list), so they are start-of-flow.
 func (a *Assembler) getRunner() Runner {
-	if r, ok := a.pool.Get().(Runner); ok {
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
 		a.runnersReused++
 		return r
 	}
-	return a.newRunner()
+	return a.gen.gen.New()
 }
 
-// removeFlow forgets a flow and recycles its runner.
+// removeFlow forgets a flow and recycles its runner — unless the runner
+// belongs to a superseded generation, in which case it is discarded
+// (counted in Stats.StaleRunners) so it can never serve a new flow.
 func (a *Assembler) removeFlow(ctx *flowCtx) {
 	delete(a.flows, ctx.key)
 	a.lru.Remove(ctx.elem)
 	a.releaseFlowGauges(ctx)
-	ctx.runner.Reset()
-	a.pool.Put(ctx.runner)
+	ctx.gen.flows--
+	ctx.gen.live.add(-1)
+	if ctx.gen == a.gen {
+		if len(a.free) < maxFreeRunners {
+			ctx.runner.Reset()
+			a.free = append(a.free, ctx.runner)
+		}
+	} else {
+		a.staleRunners++
+	}
+	a.pruneGen(ctx.gen)
 	ctx.runner = nil
+}
+
+// restartFlow rewinds a live flow for a brand-new connection on the same
+// 4-tuple: matching state restarts from the initial state (on the
+// current generation — a stale runner is replaced, not reset) and the
+// previous connection's buffered out-of-order segments are discarded
+// with their gauge contribution withdrawn.
+func (a *Assembler) restartFlow(ctx *flowCtx) {
+	a.flowRestarts++
+	if len(ctx.pending) > 0 {
+		a.gPending.add(-int64(len(ctx.pending)))
+		a.gBytes.add(-ctx.pendingBytes)
+		ctx.pending = make(map[uint32][]byte)
+		ctx.order = ctx.order[:0]
+		ctx.pendingBytes = 0
+	}
+	if ctx.gen == a.gen {
+		ctx.runner.Reset()
+		return
+	}
+	a.staleRunners++
+	a.moveFlowGen(ctx, a.gen)
+	ctx.runner = a.getRunner()
 }
 
 // releaseFlowGauges withdraws one flow's gauge contribution as it leaves
@@ -262,6 +348,9 @@ func (a *Assembler) DropFlow(key pcap.FlowKey) bool {
 	delete(a.flows, key)
 	a.lru.Remove(ctx.elem)
 	a.releaseFlowGauges(ctx)
+	ctx.gen.flows--
+	ctx.gen.live.add(-1)
+	a.pruneGen(ctx.gen)
 	ctx.runner = nil // do NOT pool: state is suspect
 	return true
 }

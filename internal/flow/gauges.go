@@ -62,4 +62,7 @@ func (a *Assembler) ReleaseGauges() {
 	a.gLive.release()
 	a.gPending.release()
 	a.gBytes.release()
+	for _, g := range a.gens {
+		g.live.release()
+	}
 }

@@ -1,0 +1,106 @@
+// Pattern-set generations.
+//
+// The paper's flow model (§III-B) makes the per-flow matching context a
+// tiny opaque value the assembler merely stores — which is exactly what
+// makes the *automaton* swappable under live traffic: a new compiled
+// pattern set is just a new runner factory, and each flow's context
+// stays valid as long as the flow keeps using the runner it started
+// with. A Generation bundles one such factory with an identity, and the
+// assembler tracks which generation every live flow belongs to, so a
+// hot reload can choose per policy whether existing flows drain on the
+// automaton they started on or restart on the new one. Stale runners —
+// contexts compiled for a superseded automaton — are never recycled
+// into new flows (their state layout may not even fit the new
+// automaton; see core.Runner.SetContext's bounds checks for what
+// happens when one is forced).
+//
+// internal/engine drives this per shard; a standalone Assembler that
+// never calls SetGeneration runs entirely on the implicit generation 0
+// and pays nothing for any of it.
+
+package flow
+
+import "matchfilter/internal/telemetry"
+
+// Generation identifies one loaded pattern generation.
+type Generation struct {
+	// ID distinguishes generations; a swap to the current ID is a no-op.
+	ID uint64
+	// New allocates a start-of-flow runner compiled for this generation.
+	New func() Runner
+	// Live, when non-nil, counts this generation's live flows. The gauge
+	// may be shared by many assemblers (one per engine shard — atomic
+	// adds compose); each assembler tracks its own contribution so
+	// ReleaseGauges can withdraw it wholesale after corruption.
+	Live *telemetry.Gauge
+}
+
+// genState is one generation's per-assembler bookkeeping.
+type genState struct {
+	gen   Generation
+	flows int64     // live flows of this generation in this assembler
+	live  gaugeAcct // this assembler's contribution to gen.Live
+}
+
+// SetGeneration switches the assembler to pattern generation g: flows
+// created from now on use g.New, and the recycled-runner free list is
+// emptied so no previous-generation runner can serve a new flow. When
+// resetExisting is true every live flow's matching state restarts on g
+// immediately (TCP reassembly state — nextSeq and buffered out-of-order
+// segments — is preserved; only the matcher context restarts); when
+// false, live flows drain on the generation they started with. Applying
+// the current generation again is a no-op. Returns the number of live
+// flows moved onto g.
+func (a *Assembler) SetGeneration(g Generation, resetExisting bool) int {
+	if g.ID == a.gen.gen.ID {
+		return 0
+	}
+	for i := range a.free {
+		a.free[i] = nil
+	}
+	a.free = a.free[:0]
+	old := a.gen
+	ngen, ok := a.gens[g.ID]
+	if !ok {
+		ngen = &genState{gen: g}
+		ngen.live.g = g.Live
+		a.gens[g.ID] = ngen
+	}
+	a.gen = ngen
+	moved := 0
+	if resetExisting {
+		for _, ctx := range a.flows {
+			if ctx.gen == ngen {
+				continue
+			}
+			a.staleRunners++
+			a.moveFlowGen(ctx, ngen)
+			ctx.runner = a.getRunner()
+			moved++
+		}
+	}
+	a.pruneGen(old)
+	return moved
+}
+
+// moveFlowGen reassigns a live flow from its generation to another,
+// settling both generations' flow counts and live gauges. The caller is
+// responsible for replacing the flow's runner.
+func (a *Assembler) moveFlowGen(ctx *flowCtx, to *genState) {
+	from := ctx.gen
+	from.flows--
+	from.live.add(-1)
+	ctx.gen = to
+	to.flows++
+	to.live.add(1)
+	a.pruneGen(from)
+}
+
+// pruneGen forgets a superseded generation once its last flow is gone,
+// so a long-lived assembler's generation table stays O(generations with
+// live flows), not O(reloads ever).
+func (a *Assembler) pruneGen(g *genState) {
+	if g != a.gen && g.flows == 0 {
+		delete(a.gens, g.gen.ID)
+	}
+}

@@ -7,12 +7,15 @@
 //	/statsz   JSON application snapshot (whatever Statsz returns)
 //	/healthz  200 "ok" / 503 with the failure reason, from Health
 //	/events   JSON tail of the match-event ring (?n= bounds the tail)
+//	/reload   POST: validate and hot-swap the pattern set (when wired)
 //	/debug/pprof/...  the standard net/http/pprof profiling handlers
 //
-// The surface is deliberately read-only: nothing under it mutates the
-// engine, so exposing it on an internal interface is safe by
-// construction. Health is a callback so the daemon keys it to the same
-// rule as its exit code — the two must never disagree, or a supervisor
+// The surface is read-only with one deliberate exception: POST /reload
+// (enabled only when the Reload callback is set) asks the daemon to
+// re-load and swap its pattern set. It answers 405 to every other
+// method, so scrapers, crawlers and GET health probes can never trigger
+// a swap. Health is a callback so the daemon keys it to the same rule
+// as its exit code — the two must never disagree, or a supervisor
 // restarting on 503 and one restarting on exit status would fight.
 
 package telemetry
@@ -40,6 +43,12 @@ type Admin struct {
 	Health func() error
 	// Statsz backs /statsz with any JSON-serializable snapshot.
 	Statsz func() any
+	// Reload, when non-nil, enables POST /reload: one call per request,
+	// expected to validate and swap the serving pattern set, returning
+	// the new generation id. A returned error means the swap was
+	// rejected and the running set is untouched (the endpoint answers
+	// 500 with the reason).
+	Reload func() (generation uint64, err error)
 }
 
 // Handler builds the admin mux.
@@ -91,6 +100,24 @@ func (a *Admin) Handler() http.Handler {
 			Events []Event `json:"events"`
 		}{Total: a.Events.Total(), Events: a.Events.Tail(n)})
 	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, req *http.Request) {
+		if a.Reload == nil {
+			http.NotFound(w, req)
+			return
+		}
+		if req.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "reload requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		gen, err := a.Reload()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"generation\":%d}\n", gen)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -102,7 +129,7 @@ func (a *Admin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "mfa admin\n/metrics\n/statsz\n/healthz\n/events\n/debug/pprof/\n")
+		fmt.Fprint(w, "mfa admin\n/metrics\n/statsz\n/healthz\n/events\n/reload (POST)\n/debug/pprof/\n")
 	})
 	return mux
 }

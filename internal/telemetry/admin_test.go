@@ -136,3 +136,65 @@ func TestStartAndGracefulShutdown(t *testing.T) {
 		t.Error("server still accepting connections after Shutdown")
 	}
 }
+
+// POST /reload drives the callback; every other method is refused so
+// crawlers and health probes can never trigger a swap.
+func TestReloadEndpoint(t *testing.T) {
+	var fail atomic.Bool
+	gen := atomic.Uint64{}
+	gen.Store(1)
+	a := &Admin{
+		Reload: func() (uint64, error) {
+			if fail.Load() {
+				return 0, errors.New("bad rules file")
+			}
+			return gen.Add(1), nil
+		},
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	post := func() (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := post(); code != 200 || strings.TrimSpace(body) != `{"generation":2}` {
+		t.Errorf("POST /reload = %d %q", code, body)
+	}
+
+	// A rejected reload surfaces the reason with a 500.
+	fail.Store(true)
+	if code, body := post(); code != 500 || !strings.Contains(body, "bad rules file") {
+		t.Errorf("failed POST /reload = %d %q", code, body)
+	}
+
+	// GET must not reload.
+	if code, _ := get(t, srv, "/reload"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /reload allowed")
+	}
+	if gen.Load() != 2 {
+		t.Errorf("GET/failed POST bumped the generation to %d", gen.Load())
+	}
+
+	// Without the callback the endpoint does not exist.
+	bare := httptest.NewServer((&Admin{}).Handler())
+	defer bare.Close()
+	resp, err := bare.Client().Post(bare.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("POST /reload with nil callback = %d, want 404", resp.StatusCode)
+	}
+}
