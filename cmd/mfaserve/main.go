@@ -1,10 +1,27 @@
 // Command mfaserve is the flow-scan daemon: it loads a compiled engine
-// image (mfabuild -o) or compiles patterns, then scans pcap input —  a
-// capture file or a stream on stdin — through the sharded concurrent
-// engine (internal/engine), printing confirmed matches as they happen and
-// a stats report at the end. It is the serving shape of the paper's
-// §III-B claim: per-flow state is a tiny (q, m) context, so one process
-// can track hundreds of thousands of concurrent flows across shards.
+// image (mfabuild -o) or compiles patterns, then scans traffic through
+// the sharded concurrent engine (internal/engine), printing confirmed
+// matches as they happen and a stats report at the end. It is the
+// serving shape of the paper's §III-B claim: per-flow state is a tiny
+// (q, m) context, so one process can track hundreds of thousands of
+// concurrent flows across shards.
+//
+// Input pipeline (DESIGN.md §15): traffic arrives through internal/input
+// sources running concurrently under one supervisor. -pcap FILE keeps the
+// classic single-capture invocation ("-" reads stdin); the repeatable
+// -source flag adds any mix of
+//
+//	-source pcap:PATH        capture file, or a glob scanned in parallel
+//	-source spool:DIR        tail rotating capture files in a directory
+//	-source tcp::9999        scan each accepted connection as one flow
+//	-source udp::9999        scan each remote peer's datagrams as one flow
+//	-source afpacket:eth0    live capture (Linux, needs CAP_NET_RAW)
+//
+// Each source owns a bounded handoff queue (-source-queue) into the
+// engine, so a bursty source backpressures alone; a failing source is
+// restarted with backoff and eventually abandoned while the others keep
+// serving. Payload buffers are leased from a pooled arena and recycled
+// by the engine after each scan.
 //
 // Robustness posture (DESIGN.md §10): malformed frames and records are
 // skipped and counted by default (-strict aborts on the first one with
@@ -37,6 +54,8 @@
 //	tracegen -set S24 -out - | mfaserve -set S24 -pcap - -stats 2s
 //	mfaserve -rules rules.txt -pcap - -shards 4 -max-flows 100000 -idle 500000 -drop
 //	mfaserve -set C8 -pcap - -admin 127.0.0.1:9090 & curl :9090/metrics
+//	mfaserve -set C8 -source 'pcap:captures/*.pcap' -source tcp::9999
+//	mfaserve -set C8 -source spool:/var/spool/pcap -source afpacket:eth0 -admin :9090
 package main
 
 import (
@@ -57,11 +76,20 @@ import (
 	"matchfilter/internal/core"
 	"matchfilter/internal/engine"
 	"matchfilter/internal/flow"
+	"matchfilter/internal/input"
 	"matchfilter/internal/patterns"
-	"matchfilter/internal/pcap"
 	"matchfilter/internal/regexparse"
 	"matchfilter/internal/telemetry"
 )
+
+// sourceSpecs collects the repeatable -source flag.
+type sourceSpecs []string
+
+func (s *sourceSpecs) String() string { return strings.Join(*s, ",") }
+func (s *sourceSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 // Exit codes: operational failures are distinguishable from input and
 // health failures so supervisors can react differently.
@@ -87,7 +115,10 @@ func run() (int, error) {
 	set := flag.String("set", "", "built-in pattern set name ("+strings.Join(patterns.Names(), ", ")+")")
 	rulesFile := flag.String("rules", "", "file with one pattern per line (# starts a comment)")
 	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
-	pcapPath := flag.String("pcap", "-", "pcap input to scan (- for stdin)")
+	pcapPath := flag.String("pcap", "-", "pcap input to scan (- for stdin); shorthand for -source pcap:PATH")
+	var srcSpecs sourceSpecs
+	flag.Var(&srcSpecs, "source", "input source, repeatable: pcap:PATH|GLOB, spool:DIR, tcp:ADDR, udp:ADDR, afpacket:IFACE")
+	sourceQueue := flag.Int("source-queue", 256, "per-source handoff queue depth (segments)")
 	shards := flag.Int("shards", 0, "shard goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 4096, "per-shard queue depth (segments)")
 	drop := flag.Bool("drop", false, "drop segments when a shard queue is full instead of applying backpressure")
@@ -119,11 +150,31 @@ func run() (int, error) {
 		return exitError, err
 	}
 
-	in, err := openInput(*pcapPath)
-	if err != nil {
-		return exitError, err
+	// Resolve the input set. -pcap joins the -source list when it was
+	// given explicitly, and stands alone (classic invocation, default
+	// stdin) when no -source flag appeared — a daemon started purely with
+	// socket sources must not also sit on stdin.
+	pcapSet := len(srcSpecs) == 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "pcap" {
+			pcapSet = true
+		}
+	})
+	var srcs []input.Source
+	if pcapSet {
+		s, err := input.ExpandPcaps(*pcapPath)
+		if err != nil {
+			return exitError, err
+		}
+		srcs = append(srcs, s...)
 	}
-	defer in.Close()
+	for _, spec := range srcSpecs {
+		s, err := parseSource(spec)
+		if err != nil {
+			return exitError, err
+		}
+		srcs = append(srcs, s...)
+	}
 
 	// cur is the serving pattern set; a hot reload swaps it. Matches in
 	// flight on an older generation still print against the current
@@ -198,6 +249,23 @@ func run() (int, error) {
 		}
 	}()
 
+	// The input pipeline: every source runs under one supervisor feeding
+	// the engine, with leased payload buffers the engine recycles after
+	// each scan. Strict-mode policy lives here now — the first malformed
+	// frame or record anywhere surfaces as a *input.StrictError.
+	sup := input.NewSupervisor(input.Config{
+		Sink:       e,
+		Strict:     *strict,
+		QueueDepth: *sourceQueue,
+		Metrics:    reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mfaserve: "+format+"\n", args...)
+		},
+	})
+	for _, src := range srcs {
+		sup.Add(src)
+	}
+
 	var admin *telemetry.Server
 	if *adminAddr != "" {
 		a := &telemetry.Admin{
@@ -212,14 +280,17 @@ func run() (int, error) {
 				}
 				return nil
 			},
-			// /statsz reports both halves of the serving state: the live
-			// engine counters and the static build shape (table layout,
-			// class count, image split) of the loaded MFA.
+			// /statsz reports the serving state end to end: per-source
+			// input accounting, arena lease counters, the live engine
+			// counters, and the static build shape (table layout, class
+			// count, image split) of the loaded MFA.
 			Statsz: func() any {
 				return struct {
+					Inputs []input.SourceStats
+					Arena  input.ArenaStats
 					Engine engine.Stats
 					Build  core.BuildStats
-				}{e.Stats(), cur.Load().m.Stats()}
+				}{sup.Stats(), sup.Arena().Stats(), e.Stats(), cur.Load().m.Stats()}
 			},
 			Reload: rl.Reload,
 		}
@@ -236,8 +307,15 @@ func run() (int, error) {
 		go progressLoop(reg, *statsEvery, stop)
 	}
 
+	// SIGINT/SIGTERM stop the pipeline gracefully: sources observe the
+	// cancellation and return, the supervisor drains, then the engine
+	// drains under -drain-timeout like any other shutdown.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	scanStart := time.Now()
-	malformed, scanErr := feedPcap(e, in, *strict)
+	scanErr := sup.Run(ctx)
+	malformed := sup.Malformed()
 
 	closeCtx := context.Background()
 	if *drainTimeout > 0 {
@@ -264,11 +342,13 @@ func run() (int, error) {
 	}
 
 	st := e.Stats()
+	inputReport(os.Stdout, sup.Stats(), sup.Arena().Stats())
 	report(os.Stdout, st, elapsed)
 	healthLine(os.Stdout, st, malformed)
 
+	var strictErr *input.StrictError
 	switch {
-	case scanErr != nil && *strict:
+	case errors.As(scanErr, &strictErr):
 		return exitStrict, scanErr
 	case scanErr != nil:
 		return exitError, scanErr
@@ -277,49 +357,38 @@ func run() (int, error) {
 	case st.UnhealthyShards > 0:
 		return exitUnhealthy, fmt.Errorf("%d shard(s) ended unhealthy", st.UnhealthyShards)
 	}
+	// A source abandoned as failed (bad path, permanent error, exhausted
+	// restart budget) is an operational error even though the rest of the
+	// pipeline kept serving — the classic single-capture invocation keeps
+	// its open-failure exit status.
+	for _, row := range sup.Stats() {
+		if row.State == "failed" {
+			return exitError, fmt.Errorf("source %s failed: %s", row.Name, row.LastError)
+		}
+	}
 	return exitOK, nil
 }
 
-// feedPcap pumps every frame of the capture into the engine. In lenient
-// mode (the default) malformed frames and a truncated capture tail are
-// counted and skipped, as a daemon on a hostile wire must; in strict
-// mode the first malformed input aborts with its typed error.
-func feedPcap(e *engine.Engine, in io.Reader, strict bool) (malformed int64, err error) {
-	pr, err := pcap.NewReader(bufio.NewReaderSize(in, 1<<20))
-	if err != nil {
-		return 0, err
+// parseSource turns one -source spec into sources. A pcap glob expands
+// to one source per file, scanned in parallel.
+func parseSource(spec string) ([]input.Source, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok || rest == "" {
+		return nil, fmt.Errorf("-source %q: want kind:arg (pcap:PATH, spool:DIR, tcp:ADDR, udp:ADDR, afpacket:IFACE)", spec)
 	}
-	for {
-		pkt, err := pr.Next()
-		if err == io.EOF {
-			return malformed, nil
-		}
-		if err != nil {
-			if strict {
-				return malformed, err
-			}
-			malformed++
-			if errors.Is(err, pcap.ErrTruncatedFrame) {
-				// A capture cut mid-record: everything before it was
-				// valid, nothing after it can be framed. Treat as end of
-				// stream.
-				fmt.Fprintf(os.Stderr, "mfaserve: capture truncated, stopping: %v\n", err)
-				return malformed, nil
-			}
-			// Unresyncable record damage (e.g. implausible length).
-			fmt.Fprintf(os.Stderr, "mfaserve: unreadable record, stopping: %v\n", err)
-			return malformed, nil
-		}
-		if err := e.HandleFrame(pkt.Data); err != nil {
-			if errors.Is(err, engine.ErrClosed) {
-				return malformed, err
-			}
-			if strict {
-				return malformed, err
-			}
-			malformed++ // malformed frame: skip and keep scanning
-		}
+	switch kind {
+	case "pcap":
+		return input.ExpandPcaps(rest)
+	case "spool":
+		return []input.Source{input.NewSpool(rest)}, nil
+	case "tcp":
+		return []input.Source{input.NewTCPListener(rest)}, nil
+	case "udp":
+		return []input.Source{input.NewUDPListener(rest)}, nil
+	case "afpacket":
+		return []input.Source{input.NewAFPacket(rest)}, nil
 	}
+	return nil, fmt.Errorf("-source %q: unknown kind %q (pcap, spool, tcp, udp, afpacket)", spec, kind)
 }
 
 // progressLoop prints one stats line per tick until stop closes. The
@@ -435,6 +504,23 @@ func registerBuildMetrics(reg *telemetry.Registry, cur func() core.BuildStats) {
 	}
 }
 
+// inputReport renders one accounting row per source plus the arena's
+// lease balance. The per-source segment and byte counters sum to the
+// engine's packet and payload totals: the pump counts only what the sink
+// accepted.
+func inputReport(w io.Writer, rows []input.SourceStats, arena input.ArenaStats) {
+	for _, row := range rows {
+		fmt.Fprintf(w, "source %s: %s, %d segments, %d payload bytes, %d skipped, %d malformed, %d restarts",
+			row.Name, row.State, row.Segments, row.PayloadBytes, row.SkippedFrames, row.Malformed, row.Restarts)
+		if row.LastError != "" {
+			fmt.Fprintf(w, " (last error: %s)", row.LastError)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "arena: %d leases (%d fresh), %d released\n",
+		arena.Leases, arena.Misses, arena.Releases)
+}
+
 // report renders the end-of-run stats block.
 func report(w io.Writer, st engine.Stats, elapsed time.Duration) {
 	mbps := float64(st.PayloadBytes) / (1 << 20) / elapsed.Seconds()
@@ -470,13 +556,6 @@ func healthLine(w io.Writer, st engine.Stats, malformed int64) {
 		st.Tier, st.TierEnters[engine.TierSoft], st.TierEnters[engine.TierHard],
 		st.TierTime[engine.TierSoft].Round(time.Millisecond),
 		st.TierTime[engine.TierHard].Round(time.Millisecond))
-}
-
-func openInput(path string) (io.ReadCloser, error) {
-	if path == "-" {
-		return io.NopCloser(os.Stdin), nil
-	}
-	return os.Open(path)
 }
 
 // loadEngine resolves the three pattern sources: a compiled image, a

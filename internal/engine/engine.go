@@ -227,7 +227,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 	for i := range e.shards {
 		s := &shard{
 			idx:         i,
-			in:          make(chan pcap.Segment, cfg.QueueDepth),
+			in:          make(chan queued, cfg.QueueDepth),
 			wake:        make(chan struct{}, 1),
 			quarantined: make(map[pcap.FlowKey]struct{}),
 			evClock:     events != nil,
@@ -283,40 +283,64 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 // the shard has scanned them, so callers must not reuse the buffer
 // (pcap.Reader allocates per packet and is safe).
 func (e *Engine) HandleFrame(frame []byte) error {
+	return e.HandleFrameOwned(frame, nil)
+}
+
+// HandleFrameOwned is HandleFrame for leased frame buffers: the engine
+// takes ownership of owner on every path — skip, error, drop or scan —
+// and releases it exactly once when the frame's bytes can no longer be
+// referenced. This is the zero-copy handoff of the input pipeline
+// (internal/input): sources lease buffers from a pool and the engine
+// returns them after the shard has scanned the payload (the assembler
+// copies any bytes it buffers, so post-scan release is safe).
+func (e *Engine) HandleFrameOwned(frame []byte, owner pcap.Owner) error {
 	seg, err := pcap.DecodeTCP(frame)
 	if err != nil {
+		release(owner)
 		if errors.Is(err, pcap.ErrNotTCP) {
 			e.skipped.Add(1)
 			return nil
 		}
 		return err
 	}
-	return e.HandleSegment(seg)
+	return e.HandleSegmentOwned(seg, owner)
 }
 
 // HandleSegment routes one decoded segment to its flow's shard. It may
 // race with Close: after Close has begun it returns ErrClosed.
 func (e *Engine) HandleSegment(seg pcap.Segment) error {
+	return e.HandleSegmentOwned(seg, nil)
+}
+
+// HandleSegmentOwned is HandleSegment for segments whose payload lives
+// in a leased buffer. The engine owns owner from this call on and
+// releases it exactly once, whether the segment is scanned or dropped
+// (queue overflow, hard degradation tier, quarantine, closed engine).
+func (e *Engine) HandleSegmentOwned(seg pcap.Segment, owner pcap.Owner) error {
 	if e.dispatches.Add(1)%e.evalEvery == 0 {
 		e.evalPressure()
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
+		release(owner)
 		return ErrClosed
 	}
 	if Tier(e.tier.Load()) == TierHard {
 		// Hard degradation: shed at the cheapest possible point, before
 		// the segment touches a queue, and account for it.
 		e.hardDrops.Add(1)
+		release(owner)
 		return nil
 	}
 	s := e.shards[shardIndex(seg.Key, len(e.shards))]
+	q := queued{seg: seg, owner: owner}
 	if e.cfg.DropWhenFull {
 		select {
-		case s.in <- seg:
+		case s.in <- q:
 		default:
 			e.queueDrops.Add(1)
+			release(owner)
 		}
 		return nil
 	}
@@ -328,11 +352,20 @@ func (e *Engine) HandleSegment(seg pcap.Segment) error {
 	// deadline. Selecting on closing bounds the hold: once Close
 	// begins, blocked dispatchers return ErrClosed and release.
 	select {
-	case s.in <- seg:
+	case s.in <- q:
 	case <-e.closing:
+		release(owner)
 		return ErrClosed
 	}
 	return nil
+}
+
+// release settles a leased buffer; nil means the payload was ordinarily
+// allocated and the garbage collector owns it.
+func release(o pcap.Owner) {
+	if o != nil {
+		o.Release()
+	}
 }
 
 // shardIndex hashes a flow key onto a shard. All segments of a flow

@@ -33,10 +33,20 @@ import (
 	"matchfilter/internal/telemetry"
 )
 
+// queued is one dispatched segment riding a shard queue together with
+// the lease on its payload buffer (nil for ordinarily-allocated
+// payloads). The shard releases the lease once the segment has been
+// consumed — scanned or drop-counted — at which point the assembler has
+// copied any bytes it still needs.
+type queued struct {
+	seg   pcap.Segment
+	owner pcap.Owner
+}
+
 // shard is one goroutine's private scanning lane.
 type shard struct {
 	idx int
-	in  chan pcap.Segment
+	in  chan queued
 	asm *flow.Assembler
 	// rebuild constructs a fresh assembler wired to this shard's match
 	// counter — the recovery path of last resort.
@@ -125,10 +135,10 @@ func (s *shard) run(e *Engine) {
 	appliedTier := TierNormal
 	var n int64
 	for {
-		var seg pcap.Segment
+		var q queued
 		var ok bool
 		select {
-		case seg, ok = <-s.in:
+		case q, ok = <-s.in:
 		case <-s.wake:
 			// Generation swap on an otherwise idle shard: apply it now
 			// rather than when the next segment happens to arrive, so a
@@ -140,6 +150,7 @@ func (s *shard) run(e *Engine) {
 		if !ok {
 			return
 		}
+		seg := q.seg
 		// Apply a pending swap before scanning, so every segment
 		// dispatched after Reload returned is scanned post-swap (a flow
 		// it creates starts on the new generation).
@@ -156,10 +167,12 @@ func (s *shard) run(e *Engine) {
 		s.processed.Add(1)
 		if s.unhealthy.Load() {
 			s.unhealthyDrops.Add(1)
+			release(q.owner)
 			continue
 		}
 		if _, bad := s.quarantined[seg.Key]; bad {
 			s.poisonedDrops.Add(1)
+			release(q.owner)
 			continue
 		}
 		if tier := Tier(e.tier.Load()); tier != appliedTier {
@@ -190,6 +203,12 @@ func (s *shard) run(e *Engine) {
 		} else {
 			s.process(e, seg)
 		}
+		// The scan is over and the assembler copied anything it buffered
+		// (out-of-order payloads are duplicated at buffering time), so
+		// the leased frame buffer can go back to its arena. process
+		// recovers its own panics, so this release runs on the poisoned
+		// path too.
+		release(q.owner)
 		idleAfter, sweepEvery := cfg.IdleAfter, cfg.SweepEvery
 		if appliedTier >= TierSoft {
 			idleAfter = cfg.DegradedIdleAfter

@@ -1,0 +1,110 @@
+// Buffer arena: the zero-copy half of the handoff contract.
+//
+// Sources lease a buffer, read a frame or payload into it, and pass the
+// lease to the sink as the segment's pcap.Owner; the engine's shard
+// releases it after the scan (the assembler copies anything it must
+// retain, so post-scan release is safe). Buffers are pooled in a few
+// size classes over sync.Pool, so N concurrent sources keep a working
+// set proportional to in-flight segments — queue depth, not traffic —
+// instead of allocating per packet.
+package input
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// arenaClasses are the lease size classes. Most Ethernet frames fit the
+// first class; socket reads and jumbo captures use the larger ones.
+// Leases beyond the last class fall back to a plain allocation that is
+// handed to the garbage collector on release.
+var arenaClasses = [...]int{2 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+// Arena is a size-classed sync.Pool of payload buffers. The zero value
+// is ready to use; an Arena must not be copied after first use.
+type Arena struct {
+	pools [len(arenaClasses)]sync.Pool
+
+	// Accounting (exposed as telemetry by the supervisor). leases and
+	// releases should track each other; misses are pool misses (fresh
+	// allocations, including oversize leases); doubleReleases counts
+	// Release called twice on one lease — always a bug upstream, made
+	// harmless here (the second call is a no-op) but counted so it is
+	// visible.
+	leases         atomic.Int64
+	releases       atomic.Int64
+	misses         atomic.Int64
+	doubleReleases atomic.Int64
+}
+
+// Buf is one leased buffer. It implements pcap.Owner: Release returns
+// the buffer to its arena exactly once; further calls are counted
+// no-ops. A Buf must not be used after Release.
+type Buf struct {
+	arena    *Arena
+	class    int // index into arenaClasses; -1 = oversize, GC-owned
+	data     []byte
+	released atomic.Bool
+}
+
+// Data returns the leased storage, sized as requested by Lease. Its
+// capacity may be larger (the size class).
+func (b *Buf) Data() []byte { return b.data }
+
+// Release returns the buffer to the arena. Safe to call from any
+// goroutine; only the first call has effect.
+func (b *Buf) Release() {
+	if b.released.Swap(true) {
+		b.arena.doubleReleases.Add(1)
+		return
+	}
+	b.arena.releases.Add(1)
+	if b.class < 0 {
+		return // oversize: let the GC have it
+	}
+	b.arena.pools[b.class].Put(b)
+}
+
+// Lease returns a buffer whose Data() has length n. The buffer must be
+// handed to the sink as an Owner or released by the caller; losing it is
+// not a leak (the GC reclaims it) but defeats the pooling.
+func (a *Arena) Lease(n int) *Buf {
+	a.leases.Add(1)
+	class := -1
+	for i, size := range arenaClasses {
+		if n <= size {
+			class = i
+			break
+		}
+	}
+	if class < 0 {
+		a.misses.Add(1)
+		return &Buf{arena: a, class: -1, data: make([]byte, n)}
+	}
+	if v := a.pools[class].Get(); v != nil {
+		b := v.(*Buf)
+		b.released.Store(false)
+		b.data = b.data[:cap(b.data)][:n]
+		return b
+	}
+	a.misses.Add(1)
+	return &Buf{arena: a, class: class, data: make([]byte, n, arenaClasses[class])}
+}
+
+// ArenaStats is a point-in-time accounting snapshot.
+type ArenaStats struct {
+	Leases         int64
+	Releases       int64
+	Misses         int64
+	DoubleReleases int64
+}
+
+// Stats reads the arena's counters.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		Leases:         a.leases.Load(),
+		Releases:       a.releases.Load(),
+		Misses:         a.misses.Load(),
+		DoubleReleases: a.doubleReleases.Load(),
+	}
+}

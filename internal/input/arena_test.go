@@ -1,0 +1,66 @@
+package input
+
+import "testing"
+
+func TestArenaLeaseSizing(t *testing.T) {
+	var a Arena
+	for _, n := range []int{0, 1, 100, 2 << 10, 2<<10 + 1, 16 << 10, 64 << 10, 256 << 10, 256<<10 + 1, 1 << 20} {
+		b := a.Lease(n)
+		if len(b.Data()) != n {
+			t.Fatalf("Lease(%d): got %d bytes", n, len(b.Data()))
+		}
+		b.Release()
+	}
+	st := a.Stats()
+	if st.Leases != st.Releases {
+		t.Fatalf("lease/release imbalance: %+v", st)
+	}
+}
+
+func TestArenaRecycles(t *testing.T) {
+	var a Arena
+	// Same size class, strictly sequential: the second lease should come
+	// from the pool. sync.Pool may shed entries under GC pressure, so
+	// accept recycling on any of a few attempts.
+	recycled := false
+	for i := 0; i < 8 && !recycled; i++ {
+		b := a.Lease(1000)
+		before := a.Stats().Misses
+		b.Release()
+		b2 := a.Lease(1500) // same class, different length
+		if len(b2.Data()) != 1500 {
+			t.Fatalf("resized lease: got %d bytes", len(b2.Data()))
+		}
+		recycled = a.Stats().Misses == before
+		b2.Release()
+	}
+	if !recycled {
+		t.Fatal("pool never recycled a released buffer")
+	}
+}
+
+func TestArenaDoubleReleaseCounted(t *testing.T) {
+	var a Arena
+	b := a.Lease(64)
+	b.Release()
+	b.Release()
+	st := a.Stats()
+	if st.DoubleReleases != 1 {
+		t.Fatalf("double releases: got %d, want 1", st.DoubleReleases)
+	}
+	if st.Releases != 1 {
+		t.Fatalf("releases: got %d, want 1 (second call must be a no-op)", st.Releases)
+	}
+}
+
+func TestArenaOversizeGoesToGC(t *testing.T) {
+	var a Arena
+	b := a.Lease(1 << 20)
+	if b.class != -1 {
+		t.Fatalf("oversize lease got class %d", b.class)
+	}
+	b.Release()
+	if st := a.Stats(); st.Misses != 1 {
+		t.Fatalf("oversize lease should count as a miss: %+v", st)
+	}
+}

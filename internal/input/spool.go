@@ -1,0 +1,265 @@
+// Spool source: a directory watcher that tails rotating capture files.
+//
+// A capture daemon (tcpdump -G, suricata's pcap-log) writes into a
+// directory, rotating by rename or by truncate-in-place. The spool
+// polls the directory (no kernel watch API — polling is portable,
+// allocation-free at steady state, and rotation happens on second
+// granularity anyway), tails every matching file from its current read
+// offset, and parses appended bytes incrementally: a partial record at
+// the tail simply waits for the next poll. Rotation shapes handled:
+//
+//   - New file appears: scanned from the beginning.
+//   - Truncate-in-place (size < read offset): reset to offset 0 and
+//     reparse from the new header.
+//   - Rename rotation (foo.pcap -> foo.pcap.1, fresh foo.pcap): the
+//     open descriptor still reads the renamed inode, so the tail is
+//     finished there first, then the descriptor is reopened onto the
+//     new inode (detected via os.SameFile).
+//   - File disappears: its tail state is dropped.
+//
+// A file whose bytes stop being parseable (bad magic, implausible
+// record) is marked dead and skipped until it is truncated or replaced;
+// in strict mode it aborts the pipeline like any malformed input.
+package input
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"matchfilter/internal/pcap"
+)
+
+// Spool tails rotating capture files in a directory.
+type Spool struct {
+	Dir string
+	// Pattern filters directory entries (filepath.Match); "" means
+	// "*.pcap".
+	Pattern string
+	// Poll is the directory scan interval; 0 means 500ms.
+	Poll time.Duration
+}
+
+// NewSpool returns a spool source over dir.
+func NewSpool(dir string) *Spool { return &Spool{Dir: dir} }
+
+// Describe implements Source.
+func (s *Spool) Describe() Description {
+	return Description{Name: "spool:" + s.Dir, Kind: "spool", Detail: s.Dir, Finite: false}
+}
+
+// Run implements Source.
+func (s *Spool) Run(ctx context.Context, em *Emitter) error {
+	pattern := s.Pattern
+	if pattern == "" {
+		pattern = "*.pcap"
+	}
+	poll := s.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	if st, err := os.Stat(s.Dir); err != nil {
+		return fmt.Errorf("input: spool: %w", err)
+	} else if !st.IsDir() {
+		return Permanent(fmt.Errorf("input: spool: %s is not a directory", s.Dir))
+	}
+
+	tails := make(map[string]*tailFile)
+	defer func() {
+		for _, tf := range tails {
+			tf.close()
+		}
+	}()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		if err := s.sweep(ctx, em, pattern, tails); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// sweep reconciles the tail set with the directory and drains appended
+// bytes from every live tail.
+func (s *Spool) sweep(ctx context.Context, em *Emitter, pattern string, tails map[string]*tailFile) error {
+	matches, err := filepath.Glob(filepath.Join(s.Dir, pattern))
+	if err != nil {
+		return Permanent(fmt.Errorf("input: spool: bad pattern: %w", err))
+	}
+	seen := make(map[string]bool, len(matches))
+	for _, path := range matches {
+		seen[path] = true
+		tf := tails[path]
+		if tf == nil {
+			f, err := os.Open(path)
+			if err != nil {
+				continue // raced with rotation; next poll retries
+			}
+			tf = &tailFile{path: path, f: f}
+			tails[path] = tf
+		}
+		if err := tf.drain(ctx, em); err != nil {
+			return err
+		}
+	}
+	for path, tf := range tails {
+		if !seen[path] {
+			// Gone from the directory: finish whatever the descriptor
+			// still holds, then forget it.
+			if err := tf.drain(ctx, em); err != nil {
+				return err
+			}
+			tf.close()
+			delete(tails, path)
+		}
+	}
+	return nil
+}
+
+// tailFile incrementally parses one capture file.
+type tailFile struct {
+	path string
+	f    *os.File
+	off  int64 // bytes consumed from the file
+
+	hdr     pcapHeader
+	hdrDone bool
+	dead    bool   // unresyncable: skip until truncate/replace
+	partial []byte // unconsumed tail bytes (shorter than one record)
+}
+
+// pcapHeader is the parsed global header state a tail needs.
+type pcapHeader struct {
+	order binary.ByteOrder
+}
+
+func (tf *tailFile) close() {
+	if tf.f != nil {
+		tf.f.Close()
+		tf.f = nil
+	}
+}
+
+// reset rewinds to offset 0 (truncate-in-place rotation).
+func (tf *tailFile) reset() {
+	tf.off = 0
+	tf.hdrDone = false
+	tf.dead = false
+	tf.partial = tf.partial[:0]
+}
+
+// drain reads appended bytes and emits every complete record. It also
+// detects rotation: truncation rewinds, a swapped inode finishes the
+// old descriptor and reopens the new file.
+func (tf *tailFile) drain(ctx context.Context, em *Emitter) error {
+	st, err := tf.f.Stat()
+	if err != nil {
+		return nil // descriptor went bad; the sweep will reopen next poll
+	}
+	if st.Size() < tf.off {
+		tf.reset()
+	}
+	if err := tf.consume(ctx, em, st.Size()); err != nil {
+		return err
+	}
+	// Rename rotation: if the path now names a different inode, finish
+	// was already done above — reopen onto the new file.
+	if pathSt, err := os.Stat(tf.path); err == nil && !os.SameFile(st, pathSt) {
+		if f, err := os.Open(tf.path); err == nil {
+			tf.close()
+			tf.f = f
+			tf.reset()
+			newSt, err := f.Stat()
+			if err != nil {
+				return nil
+			}
+			return tf.consume(ctx, em, newSt.Size())
+		}
+	}
+	return nil
+}
+
+// consume parses bytes [tf.off, size) into records.
+func (tf *tailFile) consume(ctx context.Context, em *Emitter, size int64) error {
+	if tf.dead || size <= tf.off {
+		return nil
+	}
+	n := size - tf.off
+	if n > 8<<20 {
+		n = 8 << 20 // bound one poll's bite; the rest next round
+	}
+	buf := make([]byte, n)
+	read, err := tf.f.ReadAt(buf, tf.off)
+	if read == 0 && err != nil {
+		return nil
+	}
+	tf.off += int64(read)
+	tf.partial = append(tf.partial, buf[:read]...)
+	return tf.parse(ctx, em)
+}
+
+// parse emits every complete record in partial, keeping the remainder.
+func (tf *tailFile) parse(ctx context.Context, em *Emitter) error {
+	p := tf.partial
+	if !tf.hdrDone {
+		if len(p) < 24 {
+			tf.partial = p
+			return nil
+		}
+		switch binary.LittleEndian.Uint32(p[0:]) {
+		case pcap.MagicLE:
+			tf.hdr.order = binary.LittleEndian
+		case 0xd4c3b2a1:
+			tf.hdr.order = binary.BigEndian
+		default:
+			tf.dead = true
+			tf.partial = nil
+			return em.Malformed(fmt.Errorf("%w: spool file %s", pcap.ErrBadMagic, tf.path))
+		}
+		if lt := tf.hdr.order.Uint32(p[20:]); lt != pcap.LinkTypeEthernet {
+			tf.dead = true
+			tf.partial = nil
+			return em.Malformed(fmt.Errorf("%w: %d in spool file %s", pcap.ErrBadLinkType, lt, tf.path))
+		}
+		p = p[24:]
+		tf.hdrDone = true
+	}
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if len(p) < 16 {
+			break
+		}
+		inclLen := tf.hdr.order.Uint32(p[8:])
+		if inclLen > 16*1024*1024 {
+			tf.dead = true
+			tf.partial = nil
+			return em.Malformed(fmt.Errorf("%w: implausible packet length %d in spool file %s",
+				pcap.ErrBadRecord, inclLen, tf.path))
+		}
+		if len(p) < 16+int(inclLen) {
+			break // partial record: wait for the next poll
+		}
+		lease := em.Lease(int(inclLen))
+		copy(lease.Data(), p[16:16+inclLen])
+		p = p[16+inclLen:]
+		if err := em.Frame(lease.Data(), lease); err != nil {
+			tf.partial = nil
+			return err
+		}
+	}
+	// Keep the remainder without aliasing the old backing array forever.
+	rest := make([]byte, len(p))
+	copy(rest, p)
+	tf.partial = rest
+	return nil
+}

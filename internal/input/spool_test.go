@@ -1,0 +1,117 @@
+package input
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSpoolTailsAndRotates walks a spool directory through the life of a
+// rotating capture daemon: initial file, append, rename rotation with a
+// fresh file, truncate-in-place. Every phase's bytes must be delivered
+// exactly once.
+func TestSpoolTailsAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.pcap")
+
+	capA := synthCapture(t, 2, 3000, nil, 1)
+	capB := synthCapture(t, 2, 3000, nil, 2) // appended as header-stripped records
+	capC := synthCapture(t, 2, 3000, nil, 3) // fresh file after rename rotation
+	capD := synthCapture(t, 1, 1000, nil, 4) // small: truncate-in-place
+	framesA, bytesA := countCapture(t, capA)
+	framesB, bytesB := countCapture(t, capB)
+	framesC, bytesC := countCapture(t, capC)
+	framesD, bytesD := countCapture(t, capD)
+
+	sink := newCollectSink()
+	sup := NewSupervisor(Config{Sink: sink, QueueDepth: 64})
+	sup.Add(&Spool{Dir: dir, Poll: 5 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+
+	atLeast := func(wantSegs, wantBytes int64, phase string) {
+		t.Helper()
+		waitFor(t, 10*time.Second, phase, func() bool {
+			s, b := sink.counts()
+			return s >= wantSegs && b >= wantBytes
+		})
+		if s, b := sink.counts(); s != wantSegs || b != wantBytes {
+			t.Fatalf("%s: got %d segs / %d bytes, want %d / %d", phase, s, b, wantSegs, wantBytes)
+		}
+	}
+
+	// Phase 1: a complete capture appears.
+	if err := os.WriteFile(live, capA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atLeast(framesA, bytesA, "initial file")
+
+	// Phase 2: records appended to the live file (no global header).
+	f, err := os.OpenFile(live, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(capB[24:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	atLeast(framesA+framesB, bytesA+bytesB, "appended records")
+
+	// Phase 3: rename rotation — the old file moves out of the pattern,
+	// a fresh capture takes its name.
+	if err := os.Rename(live, live+".1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(live, capC, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atLeast(framesA+framesB+framesC, bytesA+bytesB+bytesC, "rename rotation")
+
+	// Phase 4: truncate-in-place — a smaller capture overwrites the file.
+	if err := os.WriteFile(live, capD, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atLeast(framesA+framesB+framesC+framesD, bytesA+bytesB+bytesC+bytesD, "truncate rotation")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpoolDeadFileSkipped: a file with a bad magic is counted malformed
+// once and then ignored, without killing the source.
+func TestSpoolDeadFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk.pcap"),
+		make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	capA := synthCapture(t, 1, 2000, nil, 9)
+	framesA, bytesA := countCapture(t, capA)
+
+	sink := newCollectSink()
+	sup := NewSupervisor(Config{Sink: sink, QueueDepth: 16})
+	sup.Add(&Spool{Dir: dir, Poll: 5 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+
+	if err := os.WriteFile(filepath.Join(dir, "good.pcap"), capA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "good file scanned past dead one", func() bool {
+		s, b := sink.counts()
+		return s == framesA && b == bytesA
+	})
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rows := sup.Stats(); rows[0].Malformed != 1 {
+		t.Fatalf("dead file should count malformed once: %+v", rows[0])
+	}
+}

@@ -1,0 +1,491 @@
+// Supervisor: the plugin runner. One goroutine pair per source — the
+// source's Run producing into a bounded handoff channel, and a pump
+// draining that channel into the sink — plus restart-with-backoff
+// supervision and centralized strict/lenient malformed-input policy.
+package input
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/telemetry"
+)
+
+// Config sizes the pipeline.
+type Config struct {
+	// Sink receives every decoded segment. Required.
+	Sink Sink
+	// Strict aborts the whole pipeline on the first malformed frame or
+	// record anywhere (Run returns a *StrictError); the default counts
+	// and skips, as a daemon on a hostile wire must.
+	Strict bool
+	// QueueDepth bounds each source's handoff channel (segments).
+	// 0 means 256. A full queue backpressures the producing source
+	// without touching the others.
+	QueueDepth int
+	// RestartBudget is how many restarts a failing source is granted
+	// before it is abandoned (state "failed") while the other sources
+	// keep serving. 0 means 8.
+	RestartBudget int
+	// BackoffBase and BackoffMax bound the exponential restart backoff.
+	// 0 means 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Metrics, when non-nil, receives per-source series (segments,
+	// bytes, skips, malformed, restarts, queue depth/capacity, state)
+	// labeled source=<name>, plus the arena's lease accounting.
+	Metrics *telemetry.Registry
+	// Arena overrides the buffer arena; nil allocates a private one.
+	// Share one arena across supervisors to share the buffer pool.
+	Arena *Arena
+	// Logf receives supervision events (restarts, abandonments); nil
+	// logs to stderr.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RestartBudget <= 0 {
+		c.RestartBudget = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.Arena == nil {
+		c.Arena = &Arena{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+}
+
+// SourceState is a source's lifecycle position.
+type SourceState int32
+
+const (
+	// StatePending: registered, Run not yet started.
+	StatePending SourceState = iota
+	// StateRunning: the source's Run is active.
+	StateRunning
+	// StateBackoff: between a failure and its restart.
+	StateBackoff
+	// StateDone: completed cleanly (finite source EOF, or cancelled).
+	StateDone
+	// StateFailed: abandoned — restart budget exhausted, permanent
+	// error, or strict abort.
+	StateFailed
+)
+
+func (s SourceState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateBackoff:
+		return "backoff"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("SourceState(%d)", int32(s))
+	}
+}
+
+// sourceState is the supervisor's per-source record.
+type sourceState struct {
+	id   int
+	src  Source
+	desc Description
+	ch   chan queuedSeg
+
+	segments  atomic.Int64 // segments accepted by the sink
+	bytes     atomic.Int64 // payload bytes of those segments
+	skips     atomic.Int64 // non-TCP frames skipped
+	malformed atomic.Int64 // parse failures counted (lenient mode)
+	restarts  atomic.Int64
+	state     atomic.Int32
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+func (st *sourceState) setErr(err error) {
+	st.errMu.Lock()
+	st.lastErr = err.Error()
+	st.errMu.Unlock()
+}
+
+func (st *sourceState) lastError() string {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.lastErr
+}
+
+// queuedSeg rides a handoff channel: one decoded segment plus the lease
+// on its payload buffer.
+type queuedSeg struct {
+	seg   pcap.Segment
+	owner pcap.Owner
+}
+
+// Supervisor runs registered sources concurrently into one sink.
+type Supervisor struct {
+	cfg     Config
+	sources []*sourceState
+	names   map[string]int // dedup: name -> count
+
+	started atomic.Bool
+	cancel  context.CancelFunc
+
+	fatalMu  sync.Mutex
+	fatalErr error
+}
+
+// NewSupervisor creates a supervisor; register sources with Add, then
+// call Run once.
+func NewSupervisor(cfg Config) *Supervisor {
+	if cfg.Sink == nil {
+		panic("input: Config.Sink is required")
+	}
+	cfg.setDefaults()
+	s := &Supervisor{cfg: cfg, names: make(map[string]int)}
+	if reg := cfg.Metrics; reg != nil {
+		a := cfg.Arena
+		reg.CounterFunc("mfa_input_arena_leases_total",
+			"Payload buffers leased from the input arena.",
+			func() float64 { return float64(a.leases.Load()) })
+		reg.CounterFunc("mfa_input_arena_releases_total",
+			"Leased buffers returned to the input arena (by the engine after scan, or by sources on error paths).",
+			func() float64 { return float64(a.releases.Load()) })
+		reg.CounterFunc("mfa_input_arena_misses_total",
+			"Arena leases served by a fresh allocation (pool miss or oversize).",
+			func() float64 { return float64(a.misses.Load()) })
+		reg.CounterFunc("mfa_input_arena_double_release_total",
+			"Release called twice on one lease (a bug upstream, made harmless).",
+			func() float64 { return float64(a.doubleReleases.Load()) })
+	}
+	return s
+}
+
+// Arena returns the buffer arena sources lease from.
+func (s *Supervisor) Arena() *Arena { return s.cfg.Arena }
+
+// Add registers a source. It must be called before Run. Name collisions
+// are resolved by suffixing an ordinal, so telemetry labels stay unique.
+func (s *Supervisor) Add(src Source) {
+	if s.started.Load() {
+		panic("input: Add after Run")
+	}
+	desc := src.Describe()
+	if desc.Name == "" {
+		desc.Name = desc.Kind
+	}
+	if n := s.names[desc.Name]; n > 0 {
+		s.names[desc.Name] = n + 1
+		desc.Name = fmt.Sprintf("%s#%d", desc.Name, n+1)
+	} else {
+		s.names[desc.Name] = 1
+	}
+	st := &sourceState{
+		id:   len(s.sources),
+		src:  src,
+		desc: desc,
+		ch:   make(chan queuedSeg, s.cfg.QueueDepth),
+	}
+	s.sources = append(s.sources, st)
+	if reg := s.cfg.Metrics; reg != nil {
+		label := telemetry.L("source", desc.Name)
+		reg.CounterFunc("mfa_input_segments_total",
+			"TCP segments this source delivered to the engine.",
+			func() float64 { return float64(st.segments.Load()) }, label)
+		reg.CounterFunc("mfa_input_payload_bytes_total",
+			"Payload bytes this source delivered to the engine.",
+			func() float64 { return float64(st.bytes.Load()) }, label)
+		reg.CounterFunc("mfa_input_skipped_frames_total",
+			"Non-TCP frames this source skipped.",
+			func() float64 { return float64(st.skips.Load()) }, label)
+		reg.CounterFunc("mfa_input_malformed_total",
+			"Malformed frames/records this source counted and skipped.",
+			func() float64 { return float64(st.malformed.Load()) }, label)
+		reg.CounterFunc("mfa_input_restarts_total",
+			"Times this source was restarted after a transient failure.",
+			func() float64 { return float64(st.restarts.Load()) }, label)
+		reg.GaugeFunc("mfa_input_queue_depth",
+			"Segments waiting in this source's handoff queue right now.",
+			func() float64 { return float64(len(st.ch)) }, label)
+		reg.GaugeFunc("mfa_input_queue_capacity",
+			"Handoff queue capacity of this source.",
+			func() float64 { return float64(cap(st.ch)) }, label)
+		reg.GaugeFunc("mfa_input_state",
+			"Source lifecycle: 0 pending, 1 running, 2 backoff, 3 done, 4 failed.",
+			func() float64 { return float64(st.state.Load()) }, label)
+	}
+}
+
+// Run starts every source and blocks until they have all finished:
+// finite sources complete on their own, infinite sources when ctx is
+// cancelled. The returned error is nil for a clean stop (including ctx
+// cancellation); a *StrictError for a strict-mode abort; or the sink's
+// terminal error if the sink shut down underneath the pipeline. Run may
+// be called once.
+func (s *Supervisor) Run(ctx context.Context) error {
+	if s.started.Swap(true) {
+		return errors.New("input: Run called twice")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, st := range s.sources {
+		wg.Add(2)
+		go func(st *sourceState) {
+			defer wg.Done()
+			s.pump(st)
+		}(st)
+		go func(st *sourceState) {
+			defer wg.Done()
+			defer close(st.ch)
+			s.supervise(ctx, st)
+		}(st)
+	}
+	wg.Wait()
+
+	s.fatalMu.Lock()
+	defer s.fatalMu.Unlock()
+	return s.fatalErr
+}
+
+// fatal records the first pipeline-terminal error and cancels every
+// source.
+func (s *Supervisor) fatal(err error) {
+	s.fatalMu.Lock()
+	if s.fatalErr == nil {
+		s.fatalErr = err
+	}
+	s.fatalMu.Unlock()
+	s.cancel()
+}
+
+// pump drains one source's handoff channel into the sink. A sink error
+// is terminal for the whole pipeline: the pump keeps draining (so the
+// producer can finish and close the channel) but releases instead of
+// delivering.
+func (s *Supervisor) pump(st *sourceState) {
+	dead := false
+	for q := range st.ch {
+		if dead {
+			release(q.owner)
+			continue
+		}
+		if err := s.cfg.Sink.HandleSegmentOwned(q.seg, q.owner); err != nil {
+			dead = true
+			s.fatal(fmt.Errorf("input: sink rejected segment from %s: %w", st.desc.Name, err))
+			continue
+		}
+		st.segments.Add(1)
+		st.bytes.Add(int64(len(q.seg.Payload)))
+	}
+}
+
+// supervise runs one source through its restart policy.
+func (s *Supervisor) supervise(ctx context.Context, st *sourceState) {
+	em := &Emitter{sup: s, st: st, ctx: ctx}
+	backoff := s.cfg.BackoffBase
+	for {
+		st.state.Store(int32(StateRunning))
+		err := runGuarded(ctx, st.src, em)
+		switch {
+		case err == nil:
+			st.state.Store(int32(StateDone))
+			return
+		case ctx.Err() != nil:
+			// Cancelled mid-run: whatever the source returned, the stop
+			// was requested. Keep a strict abort's failed state honest,
+			// though — it may be the very cancellation cause.
+			if se := (*StrictError)(nil); errors.As(err, &se) {
+				st.state.Store(int32(StateFailed))
+				st.setErr(err)
+			} else {
+				st.state.Store(int32(StateDone))
+			}
+			return
+		default:
+		}
+		st.setErr(err)
+		var se *StrictError
+		if errors.As(err, &se) {
+			st.state.Store(int32(StateFailed))
+			s.fatal(se)
+			return
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			st.state.Store(int32(StateFailed))
+			s.cfg.Logf("input: source %s failed permanently: %v", st.desc.Name, err)
+			return
+		}
+		if st.restarts.Add(1) > int64(s.cfg.RestartBudget) {
+			st.state.Store(int32(StateFailed))
+			s.cfg.Logf("input: source %s exhausted its restart budget (%d): %v",
+				st.desc.Name, s.cfg.RestartBudget, err)
+			return
+		}
+		s.cfg.Logf("input: source %s failed (%v), restarting in %v", st.desc.Name, err, backoff)
+		st.state.Store(int32(StateBackoff))
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			st.state.Store(int32(StateDone))
+			return
+		}
+		if backoff *= 2; backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// runGuarded invokes Run under a panic supervisor: a panicking source is
+// a failing source, not a crashed daemon.
+func runGuarded(ctx context.Context, src Source, em *Emitter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("input: source panic: %v", r)
+		}
+	}()
+	return src.Run(ctx, em)
+}
+
+// SourceStats is one source's accounting row, served by /statsz.
+type SourceStats struct {
+	Name          string
+	Kind          string
+	Detail        string
+	State         string
+	Segments      int64
+	PayloadBytes  int64
+	SkippedFrames int64
+	Malformed     int64
+	Restarts      int64
+	QueueDepth    int
+	QueueCap      int
+	LastError     string `json:",omitempty"`
+}
+
+// Stats snapshots every source's accounting.
+func (s *Supervisor) Stats() []SourceStats {
+	out := make([]SourceStats, len(s.sources))
+	for i, st := range s.sources {
+		out[i] = SourceStats{
+			Name:          st.desc.Name,
+			Kind:          st.desc.Kind,
+			Detail:        st.desc.Detail,
+			State:         SourceState(st.state.Load()).String(),
+			Segments:      st.segments.Load(),
+			PayloadBytes:  st.bytes.Load(),
+			SkippedFrames: st.skips.Load(),
+			Malformed:     st.malformed.Load(),
+			Restarts:      st.restarts.Load(),
+			QueueDepth:    len(st.ch),
+			QueueCap:      cap(st.ch),
+			LastError:     st.lastError(),
+		}
+	}
+	return out
+}
+
+// Malformed totals the malformed count across sources — the number the
+// old single-reader loop reported as its skip count.
+func (s *Supervisor) Malformed() int64 {
+	var n int64
+	for _, st := range s.sources {
+		n += st.malformed.Load()
+	}
+	return n
+}
+
+// release settles a lease that will not reach the sink.
+func release(o pcap.Owner) {
+	if o != nil {
+		o.Release()
+	}
+}
+
+// Emitter is the per-source handle the supervisor passes to Run: the
+// leasing, decoding, accounting and policy surface of the pipeline.
+// Emitter methods are safe for concurrent use by one source's internal
+// goroutines (socket sources emit from per-connection goroutines).
+type Emitter struct {
+	sup *Supervisor
+	st  *sourceState
+	ctx context.Context
+}
+
+// Lease leases an n-byte buffer from the pipeline's arena.
+func (em *Emitter) Lease(n int) *Buf { return em.sup.cfg.Arena.Lease(n) }
+
+// Segment hands one pre-decoded segment (socket and live sources
+// synthesize their own flow keys) to the sink via the source's bounded
+// handoff queue, transferring ownership of owner. It blocks while the
+// queue is full — that is the per-source backpressure — and returns a
+// non-nil error only when the pipeline is stopping; the source should
+// return that error from Run.
+func (em *Emitter) Segment(seg pcap.Segment, owner pcap.Owner) error {
+	select {
+	case em.st.ch <- queuedSeg{seg: seg, owner: owner}:
+		return nil
+	case <-em.ctx.Done():
+		release(owner)
+		return em.ctx.Err()
+	}
+}
+
+// Frame decodes one Ethernet frame and hands its segment to the sink,
+// transferring ownership of owner on every path. Non-TCP frames are
+// counted and skipped; malformed TCP frames go through the malformed
+// policy (counted in lenient mode, pipeline abort in strict mode). The
+// returned error is non-nil only when the pipeline is stopping.
+func (em *Emitter) Frame(frame []byte, owner pcap.Owner) error {
+	seg, err := pcap.DecodeTCP(frame)
+	if err != nil {
+		release(owner)
+		if errors.Is(err, pcap.ErrNotTCP) {
+			em.st.skips.Add(1)
+			return nil
+		}
+		return em.Malformed(err)
+	}
+	return em.Segment(seg, owner)
+}
+
+// Malformed reports one unparseable frame or record. In lenient mode it
+// is counted and nil is returned — the source skips and continues. In
+// strict mode it returns the *StrictError the source must return from
+// Run, aborting the pipeline with exit-code-2 semantics.
+func (em *Emitter) Malformed(err error) error {
+	em.st.malformed.Add(1)
+	if !em.sup.cfg.Strict {
+		return nil
+	}
+	return &StrictError{Source: em.st.desc.Name, Err: err}
+}
+
+// Strict reports whether the pipeline is in strict mode, for sources
+// whose skip behavior differs structurally (a spool marking a file dead
+// vs. aborting).
+func (em *Emitter) Strict() bool { return em.sup.cfg.Strict }

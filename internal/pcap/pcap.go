@@ -57,6 +57,16 @@ type Packet struct {
 	Data   []byte
 }
 
+// Owner is the release hook of a leased payload buffer. Front-ends that
+// lease frame buffers from a pool (internal/input's arena) pass the
+// lease along with the decoded segment; the consumer — internal/engine's
+// shards — calls Release exactly once, after the payload bytes can no
+// longer be referenced (the assembler copies any bytes it must retain,
+// so "after HandleSegment returned" is that point). A nil Owner means
+// the buffer is garbage-collected, which is the legacy allocate-per-
+// packet path.
+type Owner interface{ Release() }
+
 // Writer emits a classic pcap stream.
 type Writer struct {
 	w     io.Writer
@@ -105,6 +115,7 @@ type Reader struct {
 	r         io.Reader
 	byteOrder binary.ByteOrder
 	linkType  uint32
+	alloc     func(int) []byte
 }
 
 // NewReader validates the global header and returns a packet reader.
@@ -132,6 +143,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 // LinkType returns the capture's link type.
 func (pr *Reader) LinkType() uint32 { return pr.linkType }
 
+// SetAlloc installs the allocator Next uses for packet bodies, letting
+// callers serve Packet.Data from a leased pool buffer instead of a fresh
+// allocation per record. alloc is called at most once per Next call;
+// when the record body read fails afterwards, the returned Packet is
+// empty and the caller owns reclaiming the leased buffer.
+func (pr *Reader) SetAlloc(alloc func(int) []byte) { pr.alloc = alloc }
+
 // Next returns the next packet, or io.EOF at the end of the stream.
 func (pr *Reader) Next() (Packet, error) {
 	var hdr [16]byte
@@ -145,7 +163,12 @@ func (pr *Reader) Next() (Packet, error) {
 	if inclLen > 16*1024*1024 {
 		return Packet{}, fmt.Errorf("%w: implausible packet length %d", ErrBadRecord, inclLen)
 	}
-	data := make([]byte, inclLen)
+	var data []byte
+	if pr.alloc != nil {
+		data = pr.alloc(int(inclLen))
+	} else {
+		data = make([]byte, inclLen)
+	}
 	if _, err := io.ReadFull(pr.r, data); err != nil {
 		return Packet{}, fmt.Errorf("%w: packet body: %v", ErrTruncatedFrame, err)
 	}
