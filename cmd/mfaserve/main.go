@@ -23,13 +23,18 @@
 // serving. Payload buffers are leased from a pooled arena and recycled
 // by the engine after each scan.
 //
-// Robustness posture (DESIGN.md §10): malformed frames and records are
-// skipped and counted by default (-strict aborts on the first one with
-// exit code 2); shard panics quarantine single flows under a crash
+// Robustness posture (DESIGN.md §10, §16): malformed frames and records
+// are skipped and counted by default (-strict aborts on the first one
+// with exit code 2); shard panics quarantine single flows under a crash
 // budget; overload steps through the soft/hard degradation ladder; and
-// shutdown is bounded by -drain-timeout. The exit status reports serving
-// health: 0 healthy, 1 operational error, 2 strict-mode parse abort,
-// 3 at least one shard ended unhealthy.
+// shutdown is bounded by -drain-timeout. -stall-deadline arms a scan
+// watchdog that poisons a flow stuck mid-scan and sheds traffic from a
+// wedged shard; -max-memory caps buffered payload memory end to end
+// (sources pause leasing near the ceiling); an infinite source that
+// keeps failing moves to a half-open circuit breaker instead of dying.
+// The exit status reports serving health: 0 healthy, 1 operational
+// error, 2 strict-mode parse abort, 3 at least one shard ended
+// unhealthy.
 //
 // Observability (DESIGN.md §12): the daemon always instruments itself
 // through internal/telemetry — the periodic -stats ticker renders from a
@@ -67,6 +72,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -76,6 +82,7 @@ import (
 	"matchfilter/internal/core"
 	"matchfilter/internal/engine"
 	"matchfilter/internal/flow"
+	"matchfilter/internal/guard"
 	"matchfilter/internal/input"
 	"matchfilter/internal/patterns"
 	"matchfilter/internal/regexparse"
@@ -127,6 +134,8 @@ func run() (int, error) {
 	crashBudget := flag.Int("crash-budget", 0, "recovered panics before a shard is marked unhealthy (0 = default 8)")
 	softMark := flag.Float64("soft-watermark", 0, "pressure threshold for soft degradation (0 = default 0.5)")
 	hardMark := flag.Float64("hard-watermark", 0, "pressure threshold for hard degradation (0 = default 0.9)")
+	maxMemory := flag.String("max-memory", "", "ceiling on buffered payload memory (arena leases + flow buffers + queued segments), e.g. 256M or 1G; sources pause leasing near the ceiling and the degradation ladder reacts to memory pressure (empty = unbounded)")
+	stallDeadline := flag.Duration("stall-deadline", 0, "watchdog deadline for one segment scan: a scan stuck longer poisons its flow on recovery, 4x the deadline marks the shard wedged and sheds its traffic (0 = watchdog off)")
 	drainTimeout := flag.Duration("drain-timeout", 0, "bound the shutdown drain; on expiry report per-shard progress and exit nonzero (0 = wait forever)")
 	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	statsEvery := flag.Duration("stats", 0, "print a stats line to stderr at this interval (0 = off)")
@@ -139,6 +148,12 @@ func run() (int, error) {
 	policy, err := engine.ParseReloadPolicy(*reloadPolicy)
 	if err != nil {
 		return exitError, err
+	}
+	var memLimit int64
+	if *maxMemory != "" {
+		if memLimit, err = parseBytes(*maxMemory); err != nil {
+			return exitError, fmt.Errorf("-max-memory: %w", err)
+		}
 	}
 	m, sources, err := loadEngine(*engineFile, *set, *rulesFile)
 	if err != nil {
@@ -207,6 +222,15 @@ func run() (int, error) {
 
 	registerBuildMetrics(reg, func() core.BuildStats { return cur.Load().m.Stats() })
 
+	// The memory governor aggregates every payload-buffering component
+	// against -max-memory: the arena (bytes out on lease), the engine's
+	// flow buffers and queued unleased payload. Sources pause leasing
+	// near the ceiling, and the degradation ladder sees the same pressure.
+	var gov *guard.Governor
+	if memLimit > 0 {
+		gov = guard.NewGovernor(guard.GovernorConfig{Limit: memLimit})
+	}
+
 	cfg := engine.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
@@ -216,10 +240,20 @@ func run() (int, error) {
 		CrashBudget:   *crashBudget,
 		SoftWatermark: *softMark,
 		HardWatermark: *hardMark,
+		StallDeadline: *stallDeadline,
 		Metrics:       reg,
 		Events:        events,
 	}
+	if gov != nil {
+		cfg.MemPressure = gov.Pressure
+	}
 	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
+	arena := &input.Arena{}
+	if gov != nil {
+		gov.Register("arena", arena.BytesLeased)
+		gov.Register("engine", e.MemoryUsage)
+		gov.RegisterMetrics(reg) // after registration: full per-component series
+	}
 
 	rl := &reloader{
 		engineFile: *engineFile,
@@ -257,6 +291,8 @@ func run() (int, error) {
 		Sink:       e,
 		Strict:     *strict,
 		QueueDepth: *sourceQueue,
+		Arena:      arena,
+		Governor:   gov,
 		Metrics:    reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mfaserve: "+format+"\n", args...)
@@ -280,17 +316,38 @@ func run() (int, error) {
 				}
 				return nil
 			},
+			// Degraded-but-serving: open circuit breakers and recent
+			// watchdog recoveries keep /healthz at 200 (the daemon is
+			// self-healing, a load balancer must not evict it) but the
+			// body says so. The 503 predicate above is unchanged.
+			Degraded: func() string {
+				var reasons []string
+				if n := sup.OpenBreakers(); n > 0 {
+					reasons = append(reasons, fmt.Sprintf("%d source circuit breaker(s) open", n))
+				}
+				if lr := e.LastStallRecovery(); !lr.IsZero() && time.Since(lr) < time.Minute {
+					reasons = append(reasons, fmt.Sprintf("scan stall recovered %s ago", time.Since(lr).Round(time.Second)))
+				}
+				return strings.Join(reasons, "; ")
+			},
 			// /statsz reports the serving state end to end: per-source
-			// input accounting, arena lease counters, the live engine
-			// counters, and the static build shape (table layout, class
-			// count, image split) of the loaded MFA.
+			// input accounting (including breaker state), arena lease
+			// counters, the memory governor (when -max-memory is set),
+			// the live engine counters, and the static build shape
+			// (table layout, class count, image split) of the loaded MFA.
 			Statsz: func() any {
+				var gst *guard.GovernorStats
+				if gov != nil {
+					s := gov.Stats()
+					gst = &s
+				}
 				return struct {
-					Inputs []input.SourceStats
-					Arena  input.ArenaStats
-					Engine engine.Stats
-					Build  core.BuildStats
-				}{sup.Stats(), sup.Arena().Stats(), e.Stats(), cur.Load().m.Stats()}
+					Inputs   []input.SourceStats
+					Arena    input.ArenaStats
+					Governor *guard.GovernorStats `json:",omitempty"`
+					Engine   engine.Stats
+					Build    core.BuildStats
+				}{sup.Stats(), sup.Arena().Stats(), gst, e.Stats(), cur.Load().m.Stats()}
 			},
 			Reload: rl.Reload,
 		}
@@ -367,6 +424,25 @@ func run() (int, error) {
 		}
 	}
 	return exitOK, nil
+}
+
+// parseBytes parses a byte size with an optional K/M/G suffix (powers
+// of two, case-insensitive): "512K", "256M", "1G", or a plain number.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("want a positive size like 268435456, 256M or 1G")
+	}
+	return n * mult, nil
 }
 
 // parseSource turns one -source spec into sources. A pcap glob expands
@@ -544,15 +620,18 @@ func healthLine(w io.Writer, st engine.Stats, malformed int64) {
 	status := "ok"
 	if st.UnhealthyShards > 0 {
 		status = "unhealthy"
-	} else if st.PoisonedFlows > 0 || st.TierEnters[engine.TierHard] > 0 {
+	} else if st.PoisonedFlows > 0 || st.TierEnters[engine.TierHard] > 0 ||
+		st.StallsRecovered > 0 || st.WedgeDrops > 0 {
 		status = "degraded"
 	}
 	fmt.Fprintf(w,
 		"health: %s poisoned_flows=%d shard_panics=%d shard_restarts=%d unhealthy_shards=%d "+
-			"drops{queue=%d hard=%d poisoned=%d unhealthy=%d reasm=%d} malformed=%d "+
+			"drops{queue=%d hard=%d poisoned=%d unhealthy=%d wedge=%d reasm=%d} malformed=%d "+
+			"stalls{fires=%d recovered=%d wedged_shards=%d} "+
 			"tier{now=%s soft_enters=%d hard_enters=%d soft_time=%s hard_time=%s}\n",
 		status, st.PoisonedFlows, st.ShardPanics, st.ShardRestarts, st.UnhealthyShards,
-		st.QueueDrops, st.HardDrops, st.PoisonedDrops, st.UnhealthyDrops, st.DroppedSegs, malformed,
+		st.QueueDrops, st.HardDrops, st.PoisonedDrops, st.UnhealthyDrops, st.WedgeDrops, st.DroppedSegs, malformed,
+		st.StallFires, st.StallsRecovered, st.WedgedShards,
 		st.Tier, st.TierEnters[engine.TierSoft], st.TierEnters[engine.TierHard],
 		st.TierTime[engine.TierSoft].Round(time.Millisecond),
 		st.TierTime[engine.TierHard].Round(time.Millisecond))

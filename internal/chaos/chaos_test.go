@@ -1,0 +1,485 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"matchfilter/internal/core"
+	"matchfilter/internal/engine"
+	"matchfilter/internal/faultinject"
+	"matchfilter/internal/flow"
+	"matchfilter/internal/guard"
+	"matchfilter/internal/input"
+	"matchfilter/internal/leakcheck"
+	"matchfilter/internal/pcap"
+	"matchfilter/internal/regexparse"
+)
+
+func buildMFA(t testing.TB, sources ...string) *core.MFA {
+	t.Helper()
+	rules := make([]core.Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules[i] = core.Rule{Pattern: p, ID: int32(i + 1)}
+	}
+	m, err := core.Compile(rules, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func chaosKey(n int) pcap.FlowKey {
+	return pcap.FlowKey{
+		SrcIP:   0x0a000000 | uint32(n+1),
+		DstIP:   0xc0a80101,
+		SrcPort: uint16(10000 + n),
+		DstPort: 80,
+	}
+}
+
+// waitFor polls cond with a generous wall bound; the individual tests
+// assert the tighter timing invariants themselves.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertIdentity is the bookkeeping invariant every scenario ends on:
+// each successfully dispatched segment is scanned or counted in exactly
+// one drop bucket.
+func assertIdentity(t *testing.T, st engine.Stats, sent int64) {
+	t.Helper()
+	accounted := st.Packets + st.QueueDrops + st.HardDrops +
+		st.PoisonedDrops + st.UnhealthyDrops + st.WedgeDrops
+	if accounted != sent {
+		t.Fatalf("accounting identity broken: sent %d, accounted %d (%+v)", sent, accounted, st)
+	}
+}
+
+func scaled(n int) int {
+	if testing.Short() {
+		return n / 4
+	}
+	return n
+}
+
+// TestStallStorm drives several flows into mid-scan stalls under
+// background load: the watchdog must detect each stuck scan within its
+// deadline, sibling traffic must keep flowing, and once the stalls
+// clear the offending flows are quarantined, the engine returns to
+// healthy, and the books balance.
+func TestStallStorm(t *testing.T) {
+	leakcheck.Check(t)
+	m := buildMFA(t, "attack")
+	gate := make(chan struct{})
+	const deadline = 10 * time.Millisecond
+	e := engine.New(engine.Config{
+		Shards: 4, QueueDepth: 64, DropWhenFull: true,
+		StallDeadline: deadline, WedgeAfter: time.Hour,
+	}, func() flow.Runner {
+		return faultinject.StallOn([]byte("LOCKUP"), gate, m.NewRunner())
+	}, nil)
+
+	var sent atomic.Int64
+	send := func(key pcap.FlowKey, seq uint32, payload string) {
+		err := e.HandleSegment(pcap.Segment{Key: key, Seq: seq, Flags: pcap.FlagACK, Payload: []byte(payload)})
+		if err == nil {
+			sent.Add(1)
+		} else if !errors.Is(err, engine.ErrClosed) {
+			t.Errorf("HandleSegment: %v", err)
+		}
+	}
+
+	// Background load on clean flows, poison pills on four others.
+	bg := scaled(1600)
+	for i := 0; i < 4; i++ {
+		send(chaosKey(100+i), 0, "about to LOCKUP hard")
+	}
+	detect := time.Now()
+	for i := 0; i < bg; i++ {
+		send(chaosKey(i%16), uint32(i/16*24), "background attack data....")
+	}
+
+	waitFor(t, "watchdog fire", func() bool { return e.Stats().StallFires >= 1 })
+	if took := time.Since(detect); took > 40*deadline {
+		t.Fatalf("watchdog took %v to fire with a %v deadline", took, deadline)
+	}
+	st := e.Stats()
+	if st.StallsRecovered != 0 {
+		t.Fatalf("stall recovered while still stuck: %+v", st)
+	}
+
+	close(gate)
+	waitFor(t, "stall recovery", func() bool {
+		st := e.Stats()
+		return st.StallsRecovered >= 1 && st.QueuedBytes == 0
+	})
+	// Recovered: fresh traffic on a clean flow still scans. Stats
+	// snapshots publish every 64 segments per shard, so send a full
+	// batch to observe the progress.
+	before := e.Stats().Packets
+	for i := 0; i < 256; i++ {
+		send(chaosKey(77+i%4), uint32(i/4*20), "post-recovery attack")
+	}
+	waitFor(t, "post-recovery scan", func() bool { return e.Stats().Packets > before })
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.UnhealthyShards != 0 || st.WedgedShards != 0 || st.ShardPanics != 0 {
+		t.Fatalf("did not recover to healthy: %+v", st)
+	}
+	if st.PoisonedFlows < 1 || st.PoisonedFlows != st.StallsRecovered {
+		t.Fatalf("stalled flows not quarantined 1:1 with recoveries: %+v", st)
+	}
+	assertIdentity(t, st, sent.Load())
+}
+
+// TestPanicStorm hits the crash-recovery path from many flows at once:
+// every panicking flow is quarantined exactly once, clean flows keep
+// matching, shards stay healthy under the budget, and the books
+// balance.
+func TestPanicStorm(t *testing.T) {
+	leakcheck.Check(t)
+	m := buildMFA(t, "attack")
+	e := engine.New(engine.Config{
+		Shards: 2, QueueDepth: 64, DropWhenFull: true, CrashBudget: 1 << 20,
+	}, func() flow.Runner {
+		return faultinject.PanicOn([]byte("BOOM"), m.NewRunner())
+	}, nil)
+
+	var sent int64
+	const bad = 8
+	rounds := scaled(40)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 32; i++ {
+			payload := "clean attack payload......"
+			if i < bad && r == 0 {
+				payload = "this one goes BOOM now...."
+			}
+			seg := pcap.Segment{Key: chaosKey(i), Seq: uint32(r * 26), Flags: pcap.FlagACK, Payload: []byte(payload)}
+			if err := e.HandleSegment(seg); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ShardPanics != bad || st.PoisonedFlows != bad {
+		t.Fatalf("want %d panics quarantining %d flows, got %d/%d", bad, bad, st.ShardPanics, st.PoisonedFlows)
+	}
+	if st.UnhealthyShards != 0 {
+		t.Fatalf("shards went unhealthy under a huge crash budget: %+v", st)
+	}
+	if st.Matches == 0 {
+		t.Fatal("clean flows stopped matching during the panic storm")
+	}
+	assertIdentity(t, st, sent)
+}
+
+// TestMalformedBurst feeds a seeded wire-fault schedule — truncation,
+// bit flips, reordering, drops — through the frame-decode entry point.
+// The engine must never panic: bad frames are rejected or skipped and
+// counted, surviving frames are scanned, and the books balance.
+func TestMalformedBurst(t *testing.T) {
+	leakcheck.Check(t)
+	m := buildMFA(t, "attack")
+	e := engine.New(engine.Config{Shards: 2, QueueDepth: 64, DropWhenFull: true},
+		func() flow.Runner { return m.NewRunner() }, nil)
+	inj := faultinject.New(faultinject.Config{
+		Seed: 42, TruncateProb: 0.2, CorruptProb: 0.2, ReorderProb: 0.1, DropProb: 0.1,
+	})
+
+	var accepted, rejected int64
+	feed := func(frame []byte) {
+		if err := e.HandleFrame(frame); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	frames := scaled(2000)
+	for i := 0; i < frames; i++ {
+		frame := pcap.EncodeTCP(chaosKey(i%8), uint32(i/8*20), pcap.FlagACK, []byte("burst attack payload"))
+		for _, f := range inj.Frame(frame) {
+			feed(f)
+		}
+	}
+	for _, f := range inj.Flush() {
+		feed(f)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ist := inj.Stats()
+	if ist.Truncated == 0 || ist.Corrupted == 0 || ist.Dropped == 0 {
+		t.Fatalf("schedule applied no faults — test is vacuous: %+v", ist)
+	}
+	st := e.Stats()
+	if st.ShardPanics != 0 || st.UnhealthyShards != 0 {
+		t.Fatalf("malformed input crashed the engine: %+v", st)
+	}
+	if st.Matches == 0 {
+		t.Fatal("no surviving frame matched; corruption rates ate the whole burst")
+	}
+	// Accepted frames were dispatched as segments or skipped as non-TCP.
+	assertIdentity(t, st, accepted-st.SkippedFrames)
+	_ = rejected // rejected frames never reached a shard; nothing to account
+}
+
+// TestReloadUnderPressure hot-swaps the pattern generation repeatedly
+// while producers hammer the engine: every reload must land (monotonic
+// generations), traffic must keep scanning throughout, and the books
+// balance at the end.
+func TestReloadUnderPressure(t *testing.T) {
+	leakcheck.Check(t)
+	m1 := buildMFA(t, "aaa")
+	m2 := buildMFA(t, "bbb")
+	e := engine.New(engine.Config{Shards: 2, QueueDepth: 64, DropWhenFull: true},
+		func() flow.Runner { return m1.NewRunner() }, nil)
+
+	var sent atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			payload := []byte("aaa and bbb both here...")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seg := pcap.Segment{Key: chaosKey(p), Seq: uint32(i * len(payload)), Flags: pcap.FlagACK, Payload: payload}
+				switch err := e.HandleSegment(seg); {
+				case err == nil:
+					sent.Add(1)
+				case errors.Is(err, engine.ErrClosed):
+					return
+				default:
+					t.Errorf("HandleSegment: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	reloads := scaled(20)
+	lastGen := e.Generation()
+	for i := 0; i < reloads; i++ {
+		m := m1
+		if i%2 == 0 {
+			m = m2
+		}
+		gen, err := e.Reload(func() flow.Runner { return m.NewRunner() }, engine.ReloadReset)
+		if err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		if gen <= lastGen {
+			t.Fatalf("reload %d: generation went %d -> %d", i, lastGen, gen)
+		}
+		lastGen = gen
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Matches == 0 {
+		t.Fatal("no matches across the reload storm")
+	}
+	if st.ShardPanics != 0 || st.UnhealthyShards != 0 {
+		t.Fatalf("reload storm broke a shard: %+v", st)
+	}
+	assertIdentity(t, st, sent.Load())
+}
+
+// flappingSource is an infinite source that fails its first failBefore
+// runs, then serves a burst of leased segments into the engine.
+type flappingSource struct {
+	name       string
+	failBefore int32
+	segs       int
+	payload    string
+	attempts   atomic.Int32
+}
+
+func (f *flappingSource) Describe() input.Description {
+	return input.Description{Name: f.name, Kind: "mem", Detail: "chaos", Finite: false}
+}
+
+func (f *flappingSource) Run(ctx context.Context, em *input.Emitter) error {
+	if f.attempts.Add(1) <= f.failBefore {
+		return fmt.Errorf("flap %d", f.attempts.Load())
+	}
+	key := chaosKey(int(f.attempts.Load()))
+	for i := 0; i < f.segs; i++ {
+		lease := em.Lease(len(f.payload))
+		copy(lease.Data(), f.payload)
+		seg := pcap.Segment{Key: key, Seq: uint32(i * len(f.payload)), Flags: pcap.FlagACK, Payload: lease.Data()}
+		if err := em.Segment(seg, lease); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestFlappingSourceBreaker runs the full pipeline — supervisor, arena,
+// engine — with a source that flaps past its restart budget: the
+// breaker must open, probe half-open, and re-enter service; the burst
+// it finally delivers is scanned end to end.
+func TestFlappingSourceBreaker(t *testing.T) {
+	leakcheck.Check(t)
+	m := buildMFA(t, "attack")
+	e := engine.New(engine.Config{Shards: 2, QueueDepth: 64},
+		func() flow.Runner { return m.NewRunner() }, nil)
+	const payload = "flapping source attack burst...."
+	src := &flappingSource{name: "flap", failBefore: 4, segs: scaled(64), payload: payload}
+	sup := input.NewSupervisor(input.Config{
+		Sink: e, RestartBudget: 2,
+		BackoffBase: time.Microsecond, BackoffMax: time.Millisecond,
+		BreakerOpenBase: 2 * time.Millisecond, BreakerOpenMax: 8 * time.Millisecond,
+	})
+	sup.Add(src)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sup.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	row := sup.Stats()[0]
+	if row.State != "done" || row.Breaker != "closed" {
+		t.Fatalf("source did not re-enter service: %+v", row)
+	}
+	if row.BreakerOpens == 0 {
+		t.Fatalf("breaker never opened — flap schedule too gentle: %+v", row)
+	}
+	st := e.Stats()
+	if want := int64(src.segs * len(payload)); st.PayloadBytes != want {
+		t.Fatalf("engine scanned %d payload bytes, want %d", st.PayloadBytes, want)
+	}
+	if st.Matches == 0 {
+		t.Fatal("delivered burst produced no matches")
+	}
+	if bal := sup.Arena().Stats(); bal.Leases != bal.Releases {
+		t.Fatalf("lease imbalance after recovery: %+v", bal)
+	}
+	assertIdentity(t, st, row.Segments)
+}
+
+// burstSource leases hard and fast on one flow — the memory-pressure
+// generator for the governor scenario.
+type burstSource struct {
+	name  string
+	segs  int
+	lease int
+}
+
+func (b *burstSource) Describe() input.Description {
+	return input.Description{Name: b.name, Kind: "mem", Detail: "chaos", Finite: true}
+}
+
+func (b *burstSource) Run(ctx context.Context, em *input.Emitter) error {
+	key := chaosKey(1)
+	for i := 0; i < b.segs; i++ {
+		lease := em.Lease(b.lease)
+		seg := pcap.Segment{Key: key, Seq: uint32(i * b.lease), Flags: pcap.FlagACK, Payload: lease.Data()}
+		if err := em.Segment(seg, lease); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestGovernorPlateauUnderStall is the -max-memory acceptance scenario
+// end to end: the engine is wedged mid-scan, a source bursts far more
+// payload than the ceiling, and the governor must pause leasing at the
+// admission gate so total buffered memory plateaus below the limit —
+// then everything drains once the stall clears.
+func TestGovernorPlateauUnderStall(t *testing.T) {
+	leakcheck.Check(t)
+	const limit = 256 << 10
+	gate := make(chan struct{})
+	// Deep queues: with the shard stalled, leased segments pile up in
+	// the shard and handoff queues — the queues alone could hold ~1M of
+	// leases, so only the governor keeps the plateau under the ceiling.
+	e := engine.New(engine.Config{Shards: 1, QueueDepth: 256, SoftWatermark: 1.1, HardWatermark: 1.2},
+		func() flow.Runner { return faultinject.Stall(gate, faultinject.Discard) }, nil)
+	arena := &input.Arena{}
+	gov := guard.NewGovernor(guard.GovernorConfig{Limit: limit, PauseAt: 0.5, Poll: time.Millisecond})
+	gov.Register("arena", arena.BytesLeased)
+	gov.Register("engine", e.MemoryUsage)
+
+	// 4x the ceiling worth of leases.
+	src := &burstSource{name: "burst", segs: scaled(512), lease: 2 << 10}
+	sup := input.NewSupervisor(input.Config{Sink: e, Arena: arena, Governor: gov, QueueDepth: 256})
+	sup.Add(src)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+
+	waitFor(t, "governor pause", func() bool { return gov.Stats().Pauses >= 1 })
+	if usage := gov.Usage(); usage > limit {
+		t.Fatalf("buffered memory %d exceeded the %d ceiling while paused", usage, limit)
+	}
+
+	// Clear the stall; sample the plateau while the burst drains.
+	close(gate)
+	var maxUsage int64
+	for {
+		if u := gov.Usage(); u > maxUsage {
+			maxUsage = u
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if maxUsage > limit {
+				t.Fatalf("buffered memory peaked at %d, above the %d ceiling", maxUsage, limit)
+			}
+			if leased := arena.BytesLeased(); leased != 0 {
+				t.Fatalf("arena still holds %d bytes after drain", leased)
+			}
+			st := e.Stats()
+			if st.QueuedBytes != 0 {
+				t.Fatalf("engine still accounts %d queued bytes after Close", st.QueuedBytes)
+			}
+			assertIdentity(t, st, sup.Stats()[0].Segments)
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -67,6 +67,13 @@ func (e *Engine) CloseContext(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
+		if e.dog != nil {
+			// Stop the watchdog before the drain: a shard slow to chew
+			// through its final backlog is shutting down, not stalling,
+			// and must not be benched mid-drain. Stop only waits for the
+			// poll goroutine, which never blocks.
+			e.dog.Stop()
+		}
 		for _, s := range e.shards {
 			close(s.in)
 		}

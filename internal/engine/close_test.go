@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"matchfilter/internal/flow"
+	"matchfilter/internal/leakcheck"
 	"matchfilter/internal/pcap"
 )
 
@@ -19,6 +20,7 @@ import (
 // and every successfully dispatched segment is accounted for — scanned
 // or counted in exactly one drop bucket.
 func TestCloseRaceHandleSegment(t *testing.T) {
+	leakcheck.Check(t)
 	m := buildMFA(t, "attack")
 	const producers = 8
 	const perProducer = 200
@@ -78,6 +80,7 @@ func TestCloseRaceHandleSegment(t *testing.T) {
 // entry point, plus concurrent Close and CloseContext callers: all
 // closers must return without panic and agree the engine drained.
 func TestCloseRaceHandleFrame(t *testing.T) {
+	leakcheck.Check(t)
 	m := buildMFA(t, "attack")
 	key := pcap.FlowKey{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 20000, DstPort: 80}
 	payload := []byte("frame-path attack frame-path")

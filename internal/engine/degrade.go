@@ -51,7 +51,10 @@ func (t Tier) String() string {
 }
 
 // pressure computes the load signal in [0,1]: the worst of queue
-// occupancy and (when flow tables are capped) flow-table occupancy.
+// occupancy, (when flow tables are capped) flow-table occupancy, and
+// (when a memory governor is wired in) governed memory usage over its
+// ceiling — so the ladder reacts to an approaching -max-memory limit
+// exactly as it reacts to a filling queue.
 func (e *Engine) pressure() float64 {
 	queued := 0
 	for _, s := range e.shards {
@@ -65,6 +68,11 @@ func (e *Engine) pressure() float64 {
 		}
 		if fp := float64(live) / float64(e.flowCap); fp > p {
 			p = fp
+		}
+	}
+	if e.cfg.MemPressure != nil {
+		if mp := e.cfg.MemPressure(); mp > p {
+			p = mp
 		}
 	}
 	return p

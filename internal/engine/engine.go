@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"matchfilter/internal/flow"
+	"matchfilter/internal/guard"
 	"matchfilter/internal/pcap"
 	"matchfilter/internal/telemetry"
 )
@@ -98,6 +99,26 @@ type Config struct {
 	// while at or above the soft tier. 0 means IdleAfter/4 when idle
 	// sweeping is configured, else 1024.
 	DegradedIdleAfter int64
+	// StallDeadline arms the shard stall watchdog: a scan step that runs
+	// longer than this is treated as a stall — the watchdog flags the
+	// step, and when it finally returns the shard quarantines the
+	// offending flow through the poison path (Stats.StallsRecovered).
+	// 0 disables the watchdog. The heartbeat costs the hot path two
+	// atomic stores per scanned segment and takes no locks.
+	StallDeadline time.Duration
+	// WedgeAfter escalates a stall that is still stuck: the shard is
+	// marked wedged (and unhealthy), and dispatch sheds its traffic
+	// with accounting (Stats.WedgeDrops) instead of queueing behind a
+	// goroutine that may never return. If the step does eventually
+	// return, the shard recovers: the flow is quarantined and the
+	// wedged/unhealthy marks are lifted (crash budget permitting).
+	// 0 means 4×StallDeadline.
+	WedgeAfter time.Duration
+	// MemPressure, when non-nil, is an external pressure signal in
+	// [0,1] — usage over limit from the unified memory governor
+	// (guard.Governor.Pressure) — folded into the degradation ladder's
+	// pressure computation alongside queue and flow occupancy.
+	MemPressure func() float64
 	// Metrics, when non-nil, receives the engine's telemetry: callback
 	// counters/gauges bridging the Stats counters, shared reassembly
 	// gauges, and per-shard scan-latency histograms (the one metric the
@@ -176,6 +197,21 @@ type Engine struct {
 	queueDrops atomic.Int64 // segments dropped by DropWhenFull
 	hardDrops  atomic.Int64 // segments dropped at dispatch by the hard tier
 
+	// Stall watchdog (watchdog.go): dog polls the shards' heartbeats
+	// when Config.StallDeadline is set; lastStallRecovery is the Unix
+	// nanosecond of the most recent stall recovery, for the /healthz
+	// degraded window.
+	dog               *guard.Watchdog
+	lastStallRecovery atomic.Int64
+
+	// Memory accounting for the governor: flowGauges is always present
+	// (registry-backed when Config.Metrics is set, bare atomics
+	// otherwise) so BufferedBytes is exact; queuedBytes tracks payload
+	// bytes of non-leased segments sitting in shard queues (leased
+	// payloads are already accounted by their arena).
+	flowGauges  *flow.Gauges
+	queuedBytes atomic.Int64
+
 	// Degradation ladder state (degrade.go).
 	tier       atomic.Int32
 	dispatches atomic.Int64
@@ -193,11 +229,21 @@ type Engine struct {
 // per-flow state they return need not be). onMatch may be nil.
 func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine {
 	cfg.setDefaults()
+	// Shared exact reassembly gauges: every shard's assembler feeds the
+	// same three atomics (flow.Gauges composes by addition). Registered
+	// on the registry when one is configured; bare atomics otherwise, so
+	// MemoryUsage is exact either way.
+	var fg *flow.Gauges
 	if cfg.Metrics != nil {
-		// Shared exact reassembly gauges: every shard's assembler feeds
-		// the same three atomics (flow.Gauges composes by addition).
-		cfg.Flow.Gauges = registerFlowGauges(cfg.Metrics)
+		fg = registerFlowGauges(cfg.Metrics)
+	} else {
+		fg = &flow.Gauges{
+			LiveFlows:       &telemetry.Gauge{},
+			PendingSegments: &telemetry.Gauge{},
+			BufferedBytes:   &telemetry.Gauge{},
+		}
 	}
+	cfg.Flow.Gauges = fg
 	e := &Engine{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
@@ -207,6 +253,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		flowCap:   cfg.Shards * cfg.Flow.MaxFlows,
 		tierSince: time.Now(),
 	}
+	e.flowGauges = fg
 	// Generation 1 is the factory the engine was built with; Reload
 	// installs successors.
 	gen1 := &generation{id: 1, newRunner: newRunner}
@@ -231,6 +278,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 			wake:        make(chan struct{}, 1),
 			quarantined: make(map[pcap.FlowKey]struct{}),
 			evClock:     events != nil,
+			hb:          cfg.StallDeadline > 0,
 		}
 		// Matches fire on the shard goroutine only, so the one-entry
 		// flow-string cache below needs no lock. Match-dense flows hit it
@@ -263,6 +311,20 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		s.asm = s.rebuild()
 		s.publish()
 		e.shards[i] = s
+	}
+	if cfg.StallDeadline > 0 {
+		// Arm the watchdog before metrics registration (callbacks read
+		// e.dog) and before the shard goroutines start. The watchdog's
+		// own goroutine only reads heartbeat atomics, so starting it
+		// against idle shards is safe.
+		targets := make([]guard.Target, len(e.shards))
+		for i, s := range e.shards {
+			targets[i] = &shardTarget{e: e, s: s}
+		}
+		e.dog = guard.NewWatchdog(guard.WatchdogConfig{
+			Deadline:   cfg.StallDeadline,
+			WedgeAfter: cfg.WedgeAfter,
+		}, targets...)
 	}
 	if cfg.Metrics != nil {
 		// Register before the shard goroutines start: registration also
@@ -334,12 +396,30 @@ func (e *Engine) HandleSegmentOwned(seg pcap.Segment, owner pcap.Owner) error {
 		return nil
 	}
 	s := e.shards[shardIndex(seg.Key, len(e.shards))]
+	if s.wedged.Load() {
+		// The shard is stuck mid-scan past WedgeAfter: queueing behind a
+		// goroutine that may never return would strand this buffer (and,
+		// under backpressure, this dispatcher). Shed with accounting;
+		// sibling shards are unaffected.
+		s.wedgeDrops.Add(1)
+		release(owner)
+		return nil
+	}
 	q := queued{seg: seg, owner: owner}
+	// Track non-leased payload bytes entering a queue (leased payloads
+	// are accounted by their arena until released). Added before the
+	// send and withdrawn by the shard at dequeue — or below on a drop.
+	var nb int64
+	if owner == nil && len(seg.Payload) > 0 {
+		nb = int64(len(seg.Payload))
+		e.queuedBytes.Add(nb)
+	}
 	if e.cfg.DropWhenFull {
 		select {
 		case s.in <- q:
 		default:
 			e.queueDrops.Add(1)
+			e.queuedBytes.Add(-nb)
 			release(owner)
 		}
 		return nil
@@ -354,10 +434,30 @@ func (e *Engine) HandleSegmentOwned(seg pcap.Segment, owner pcap.Owner) error {
 	select {
 	case s.in <- q:
 	case <-e.closing:
+		e.queuedBytes.Add(-nb)
 		release(owner)
 		return ErrClosed
 	}
 	return nil
+}
+
+// MemoryUsage reports the bytes the engine currently holds that are not
+// accounted elsewhere: reassembly buffers (exact, via the shared flow
+// gauges) plus non-leased payload bytes parked in shard queues. It is
+// the engine's component callback for the unified memory governor.
+func (e *Engine) MemoryUsage() int64 {
+	return e.flowGauges.BufferedBytes.Value() + e.queuedBytes.Load()
+}
+
+// LastStallRecovery reports when a stall was last recovered (a flagged
+// scan step returned and its flow was quarantined); the zero time if
+// never. The admin layer uses it for the /healthz degraded window.
+func (e *Engine) LastStallRecovery() time.Time {
+	n := e.lastStallRecovery.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
 }
 
 // release settles a leased buffer; nil means the payload was ordinarily
@@ -443,6 +543,18 @@ type Stats struct {
 	UnhealthyShards int
 	UnhealthyDrops  int64
 
+	// Stall-watchdog state (watchdog.go). StallFires counts scan steps
+	// flagged past StallDeadline; StallsRecovered counts flagged steps
+	// that returned and had their flow quarantined. WedgedShards is the
+	// shards currently stuck past WedgeAfter; WedgeDrops counts
+	// segments shed at dispatch because their shard was wedged.
+	// QueuedBytes is the engine's non-leased queued payload footprint.
+	StallFires      int64
+	StallsRecovered int64
+	WedgedShards    int
+	WedgeDrops      int64
+	QueuedBytes     int64
+
 	// Degradation-ladder state (degrade.go). Tier is the current tier;
 	// TierEnters counts entries into each tier and TierTime the
 	// cumulative wall-clock time spent there (index by Tier). HardDrops
@@ -508,7 +620,16 @@ func (e *Engine) Stats() Stats {
 		if s.unhealthy.Load() {
 			st.UnhealthyShards++
 		}
+		st.StallsRecovered += s.stallRecovered.Load()
+		st.WedgeDrops += s.wedgeDrops.Load()
+		if s.wedged.Load() {
+			st.WedgedShards++
+		}
 	}
+	if e.dog != nil {
+		st.StallFires = e.dog.Fires()
+	}
+	st.QueuedBytes = e.queuedBytes.Load()
 	e.tierMu.Lock()
 	st.Tier = Tier(e.tier.Load())
 	st.TierEnters = e.tierEnters

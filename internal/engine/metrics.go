@@ -136,6 +136,45 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) {
 			return float64(n)
 		})
 
+	// Stall watchdog (watchdog.go). Registered even when the watchdog is
+	// disarmed so dashboards see stable zeros instead of absent series.
+	reg.CounterFunc("mfa_guard_watchdog_fires_total",
+		"Scan steps flagged by the stall watchdog (ran past -stall-deadline).",
+		func() float64 {
+			if e.dog == nil {
+				return 0
+			}
+			return float64(e.dog.Fires())
+		})
+	reg.CounterFunc("mfa_guard_watchdog_wedges_total",
+		"Stalls escalated to wedges (step still stuck past the wedge threshold).",
+		func() float64 {
+			if e.dog == nil {
+				return 0
+			}
+			return float64(e.dog.Wedges())
+		})
+	reg.CounterFunc("mfa_guard_stalls_recovered_total",
+		"Flagged scan steps that returned; their flow was quarantined.",
+		sumShard(func(s *shard) int64 { return s.stallRecovered.Load() }))
+	reg.CounterFunc("mfa_guard_wedge_drops_total",
+		"Segments shed at dispatch because their shard was wedged mid-scan.",
+		sumShard(func(s *shard) int64 { return s.wedgeDrops.Load() }))
+	reg.GaugeFunc("mfa_guard_wedged_shards",
+		"Shards currently stuck mid-scan past the wedge threshold.",
+		func() float64 {
+			n := 0
+			for _, s := range e.shards {
+				if s.wedged.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("mfa_engine_queued_bytes",
+		"Non-leased payload bytes parked in shard queues (a memory-governor component).",
+		func() float64 { return float64(e.queuedBytes.Load()) })
+
 	// Degradation ladder (degrade.go).
 	reg.GaugeFunc("mfa_engine_tier",
 		"Current degradation tier: 0 normal, 1 soft, 2 hard.",

@@ -15,6 +15,7 @@ import (
 
 	"matchfilter/internal/faultinject"
 	"matchfilter/internal/flow"
+	"matchfilter/internal/leakcheck"
 	"matchfilter/internal/pcap"
 )
 
@@ -42,6 +43,7 @@ func waitProcessed(t *testing.T, e *Engine, n int64) {
 // no flow dropped, and the per-flow match streams byte-identical to an
 // uninterrupted sequential scan.
 func TestReloadDrainEquivalence(t *testing.T) {
+	leakcheck.Check(t)
 	m := buildMFA(t, "attack.*payload", "evil[^\n]*string", "xmrig")
 	capture := interleavedCapture(t, 10, 8<<10, []string{"attack", "payload", "evil", "string", "xmrig"})
 
@@ -176,6 +178,7 @@ func TestReloadPolicies(t *testing.T) {
 // rules they started with (drain), flows created after it match only the
 // new rules.
 func TestReloadSwapsRuleSet(t *testing.T) {
+	leakcheck.Check(t)
 	m1 := buildMFA(t, "aaa")
 	m2 := buildMFA(t, "bbb")
 	kOld := pcap.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
@@ -236,6 +239,7 @@ func TestReloadErrors(t *testing.T) {
 // (it unblocks the dispatcher via the closing channel before taking the
 // write lock). Before that fix this test deadlocked.
 func TestCloseUnblocksBackpressure(t *testing.T) {
+	leakcheck.Check(t)
 	gate := make(chan struct{})
 	e := New(Config{Shards: 1, QueueDepth: 1, SoftWatermark: 1.1, HardWatermark: 1.2},
 		func() flow.Runner { return faultinject.Stall(gate, faultinject.Discard) }, nil)

@@ -97,6 +97,23 @@ type shard struct {
 	lostFlows      atomic.Int64
 	unhealthy      atomic.Bool
 	unhealthyDrops atomic.Int64
+
+	// Stall-watchdog heartbeat (watchdog.go). hb arms it (set before
+	// the goroutine starts). hbSeq/hbStart follow the guard.Target
+	// protocol — the writer stores start=0, then seq=n+1, then
+	// start=now, so the watchdog can never blame a fresh step for an
+	// old step's age. stalledSeq is the step the watchdog flagged (the
+	// shard checks it when the step returns and quarantines the flow);
+	// wedged flips when the step outlives WedgeAfter, making dispatch
+	// shed this shard's traffic into wedgeDrops. stallRecovered counts
+	// flagged steps that did return.
+	hb             bool
+	hbSeq          atomic.Int64
+	hbStart        atomic.Int64
+	stalledSeq     atomic.Int64
+	wedged         atomic.Bool
+	stallRecovered atomic.Int64
+	wedgeDrops     atomic.Int64
 }
 
 // statsEvery is how often (in segments) a shard refreshes its published
@@ -151,6 +168,11 @@ func (s *shard) run(e *Engine) {
 			return
 		}
 		seg := q.seg
+		if q.owner == nil && len(seg.Payload) > 0 {
+			// Withdraw what dispatch charged to the queued-bytes account
+			// (leased payloads are accounted by their arena instead).
+			e.queuedBytes.Add(-int64(len(seg.Payload)))
+		}
 		// Apply a pending swap before scanning, so every segment
 		// dispatched after Reload returned is scanned post-swap (a flow
 		// it creates starts on the new generation).
@@ -165,6 +187,18 @@ func (s *shard) run(e *Engine) {
 			e.evalPressure()
 		}
 		s.processed.Add(1)
+		if s.wedged.Load() {
+			// This goroutine is demonstrably live — it is executing the
+			// loop — so a wedge mark here is residue of the narrow race
+			// where the watchdog's escalation landed just as the stuck
+			// step returned (recoverStall clears the mark in the normal
+			// order). Lift it before the unhealthy gate below can drop
+			// scannable work.
+			s.wedged.Store(false)
+			if s.panics.Load() < int64(e.cfg.CrashBudget) {
+				s.unhealthy.Store(false)
+			}
+		}
 		if s.unhealthy.Load() {
 			s.unhealthyDrops.Add(1)
 			release(q.owner)
@@ -191,6 +225,16 @@ func (s *shard) run(e *Engine) {
 		// event), while pure SYN/ACK/FIN bookkeeping would just pile
 		// sub-microsecond noise into the lowest bucket and pay two clock
 		// reads for it.
+		// Heartbeat for the stall watchdog: start=0, seq=n+1, start=now
+		// (the order the watchdog's race-free read depends on). Published
+		// only for payload-bearing segments — they are the ones that run
+		// matcher code and can stall.
+		var hseq int64
+		if s.hb && len(seg.Payload) > 0 {
+			s.hbStart.Store(0)
+			hseq = s.hbSeq.Add(1)
+			s.hbStart.Store(time.Now().UnixNano())
+		}
 		if len(seg.Payload) > 0 && (s.scanHist != nil || s.evClock) {
 			t0 := time.Now()
 			if s.evClock {
@@ -202,6 +246,15 @@ func (s *shard) run(e *Engine) {
 			}
 		} else {
 			s.process(e, seg)
+		}
+		if hseq != 0 {
+			s.hbStart.Store(0)
+			if s.stalledSeq.Load() == hseq {
+				// The watchdog flagged this very step while it ran: the
+				// flow wedged the shard past the deadline and cannot be
+				// trusted again.
+				s.recoverStall(e, seg.Key)
+			}
 		}
 		// The scan is over and the assembler copied anything it buffered
 		// (out-of-order payloads are duplicated at buffering time), so
@@ -244,6 +297,27 @@ func (s *shard) process(e *Engine, seg pcap.Segment) {
 		}
 	}()
 	s.asm.HandleSegment(seg)
+}
+
+// recoverStall handles a scan step the watchdog flagged that has now
+// returned: the offending flow joins the quarantine set through the
+// same poison path a panic takes, and if the stall had escalated to a
+// wedge, the shard re-enters service — the step did return, so the
+// goroutine is live — unless its crash budget is already spent.
+func (s *shard) recoverStall(e *Engine, key pcap.FlowKey) {
+	if _, dup := s.quarantined[key]; !dup {
+		// A step can both stall *and* panic; process already quarantined
+		// the flow then, and the poison accounting must not double.
+		s.quarantined[key] = struct{}{}
+		s.poisoned.Add(1)
+		s.excise(key)
+	}
+	s.stallRecovered.Add(1)
+	e.lastStallRecovery.Store(time.Now().UnixNano())
+	if s.wedged.Swap(false) && s.panics.Load() < int64(e.cfg.CrashBudget) {
+		s.unhealthy.Store(false)
+	}
+	s.publish()
 }
 
 // excise removes a poisoned flow from the assembler. If the assembler is

@@ -95,6 +95,47 @@ func (r *stallRunner) Feed(data []byte, onMatch func(int32, int64)) {
 
 func (r *stallRunner) Reset() { r.inner.Reset() }
 
+// StallOn wraps inner so Feed blocks on gate only when token appears in
+// the flow's byte stream (straddle-aware, like PanicOn): the one flow
+// carrying the token wedges its shard mid-scan while every other flow —
+// and every other shard — keeps moving. This is the targeted trigger
+// for stall-watchdog scenarios; the untargeted Stall wedges every
+// runner it decorates. A nil or empty token never fires.
+func StallOn(token []byte, gate <-chan struct{}, inner flow.Runner) flow.Runner {
+	return &stallOnRunner{token: token, gate: gate, inner: inner}
+}
+
+type stallOnRunner struct {
+	token []byte
+	gate  <-chan struct{}
+	inner flow.Runner
+	tail  []byte
+}
+
+func (r *stallOnRunner) Feed(data []byte, onMatch func(int32, int64)) {
+	if len(r.token) > 0 {
+		joined := data
+		if len(r.tail) > 0 {
+			joined = append(append([]byte{}, r.tail...), data...)
+		}
+		hit := bytes.Contains(joined, r.token)
+		keep := len(r.token) - 1
+		if len(joined) < keep {
+			keep = len(joined)
+		}
+		r.tail = append(r.tail[:0], joined[len(joined)-keep:]...)
+		if hit {
+			<-r.gate
+		}
+	}
+	r.inner.Feed(data, onMatch)
+}
+
+func (r *stallOnRunner) Reset() {
+	r.tail = r.tail[:0]
+	r.inner.Reset()
+}
+
 // Discard is a no-op Runner, the innermost layer when a test only needs
 // the fault behaviour.
 var Discard flow.Runner = discardRunner{}

@@ -1,0 +1,176 @@
+// Circuit breaker for restartable dependencies.
+//
+// The input supervisor's original policy was a fixed restart budget:
+// exhaust it and the source is abandoned for the life of the process.
+// That conflates two very different failures — a source that is broken
+// forever (a file that no longer parses) and one that is merely down
+// for longer than the backoff ladder tolerates (a capture endpoint
+// rebooting). The breaker replaces "dead forever" with the classic
+// three-state machine:
+//
+//	closed     normal operation; failures count against a budget that
+//	           a sustained healthy run refills.
+//	open       the budget is spent; the dependency is left alone for a
+//	           doubling, capped interval.
+//	half-open  one probe is in flight; success closes the breaker,
+//	           failure re-opens it at the next interval.
+package guard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit state.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for /statsz and metrics help text.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes one breaker.
+type BreakerConfig struct {
+	// FailureBudget is how many failures the closed state tolerates
+	// before opening. 0 means 8.
+	FailureBudget int
+	// OpenBase is the first open interval; each consecutive open
+	// doubles it up to OpenMax. 0 means 10s (OpenBase) / 2m (OpenMax).
+	OpenBase time.Duration
+	OpenMax  time.Duration
+	// HealthyAfter is how long a run must last for the failure budget
+	// to refill. 0 means 30s.
+	HealthyAfter time.Duration
+}
+
+func (c *BreakerConfig) setDefaults() {
+	if c.FailureBudget <= 0 {
+		c.FailureBudget = 8
+	}
+	if c.OpenBase <= 0 {
+		c.OpenBase = 10 * time.Second
+	}
+	if c.OpenMax <= 0 {
+		c.OpenMax = 2 * time.Minute
+	}
+	if c.OpenMax < c.OpenBase {
+		c.OpenMax = c.OpenBase
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 30 * time.Second
+	}
+}
+
+// Breaker is one circuit. The state field is atomic so observers
+// (metrics callbacks, /statsz) read it without taking the mutex the
+// transition logic uses; Healthy may fire from a timer goroutine while
+// Failure runs on the supervisor goroutine.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	failures int
+	interval time.Duration
+
+	state  atomic.Int32
+	opens  atomic.Int64
+	probes atomic.Int64
+	resets atomic.Int64
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.setDefaults()
+	return &Breaker{cfg: cfg, interval: cfg.OpenBase}
+}
+
+// State reports the current circuit state.
+func (b *Breaker) State() BreakerState { return BreakerState(b.state.Load()) }
+
+// Opens counts closed/half-open → open transitions.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }
+
+// Probes counts open → half-open transitions.
+func (b *Breaker) Probes() int64 { return b.probes.Load() }
+
+// Resets counts budget refills earned by sustained healthy runs.
+func (b *Breaker) Resets() int64 { return b.resets.Load() }
+
+// Failure records one failed run that lasted ranFor, and returns the
+// resulting state. When the state is BreakerOpen, wait is how long the
+// caller must leave the dependency alone before calling Probe; it is
+// zero otherwise. A run that lasted at least HealthyAfter first refills
+// the budget — a source that served for minutes and then hiccuped is
+// not the same as one crash-looping.
+func (b *Breaker) Failure(ranFor time.Duration) (state BreakerState, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ranFor >= b.cfg.HealthyAfter {
+		b.resetLocked()
+	}
+	b.failures++
+	if BreakerState(b.state.Load()) == BreakerHalfOpen || b.failures > b.cfg.FailureBudget {
+		wait = b.interval
+		b.interval *= 2
+		if b.interval > b.cfg.OpenMax {
+			b.interval = b.cfg.OpenMax
+		}
+		b.state.Store(int32(BreakerOpen))
+		b.opens.Add(1)
+		return BreakerOpen, wait
+	}
+	return BreakerClosed, 0
+}
+
+// Probe moves an open breaker to half-open: the caller is about to try
+// the dependency once. No-op in other states.
+func (b *Breaker) Probe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if BreakerState(b.state.Load()) == BreakerOpen {
+		b.state.Store(int32(BreakerHalfOpen))
+		b.probes.Add(1)
+	}
+}
+
+// Success records a run that ended cleanly: the breaker closes and the
+// budget refills.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resetLocked()
+}
+
+// Healthy records that the current run has lasted HealthyAfter without
+// failing: the breaker closes and the budget refills, so a later crash
+// starts from a full budget. Safe to call from a timer goroutine.
+func (b *Breaker) Healthy() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resetLocked()
+}
+
+func (b *Breaker) resetLocked() {
+	if BreakerState(b.state.Load()) != BreakerClosed || b.failures > 0 {
+		b.resets.Add(1)
+	}
+	b.state.Store(int32(BreakerClosed))
+	b.failures = 0
+	b.interval = b.cfg.OpenBase
+}

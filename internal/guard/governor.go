@@ -1,0 +1,212 @@
+// Unified memory governor.
+//
+// Before this layer, three uncoordinated limits bounded the pipeline's
+// memory: arena buffers grew with source burstiness, shard queues with
+// their configured depth, and reassembly buffers with out-of-order
+// traffic — each individually capped, but their *sum* unbounded. The
+// governor is the single accountant: components register a usage
+// callback (a few atomic loads each), the governor aggregates them
+// against one byte ceiling, and two consumers read the result:
+//
+//   - The engine's degradation ladder folds Pressure() (usage/limit)
+//     into its watermark signal, so memory pressure steps the engine
+//     through soft/hard degradation exactly like queue pressure does.
+//   - Producers call Admit before leasing payload buffers; Admit blocks
+//     while usage sits above the pause threshold, so sources stop
+//     pulling bytes off the wire before the allocator can OOM the
+//     process. Pauses are counted and timed.
+package guard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchfilter/internal/telemetry"
+)
+
+// GovernorConfig sizes the governor.
+type GovernorConfig struct {
+	// Limit is the memory ceiling in bytes. Required (> 0).
+	Limit int64
+	// PauseAt is the fraction of Limit at which Admit starts blocking
+	// producers. 0 means 0.9 — leasing pauses before the ceiling so
+	// in-flight work can land under it.
+	PauseAt float64
+	// Poll is how often a blocked Admit re-checks usage. 0 means 2ms.
+	Poll time.Duration
+}
+
+func (c *GovernorConfig) setDefaults() {
+	if c.PauseAt <= 0 || c.PauseAt > 1 {
+		c.PauseAt = 0.9
+	}
+	if c.Poll <= 0 {
+		c.Poll = 2 * time.Millisecond
+	}
+}
+
+// component is one registered usage source.
+type component struct {
+	name string
+	fn   func() int64
+}
+
+// Governor aggregates registered usage callbacks against one ceiling.
+// All methods are safe for concurrent use; a nil *Governor is a valid
+// no-op (Admit admits, Pressure is zero), so callers need not branch.
+type Governor struct {
+	cfg GovernorConfig
+
+	mu    sync.Mutex // guards registration
+	comps atomic.Pointer[[]component]
+
+	pauses      atomic.Int64
+	pausedNanos atomic.Int64
+}
+
+// NewGovernor creates a governor. Register components before exposing
+// it to producers.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	if cfg.Limit <= 0 {
+		panic("guard: GovernorConfig.Limit is required")
+	}
+	cfg.setDefaults()
+	g := &Governor{cfg: cfg}
+	g.comps.Store(&[]component{})
+	return g
+}
+
+// Register adds one usage component. fn must be cheap and safe to call
+// from any goroutine (atomic loads, not table walks).
+func (g *Governor) Register(name string, fn func() int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	next := append(append([]component{}, *g.comps.Load()...), component{name, fn})
+	g.comps.Store(&next)
+}
+
+// Limit reports the configured ceiling in bytes.
+func (g *Governor) Limit() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cfg.Limit
+}
+
+// Usage sums the registered components' current bytes.
+func (g *Governor) Usage() int64 {
+	if g == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range *g.comps.Load() {
+		total += c.fn()
+	}
+	return total
+}
+
+// Pressure is usage over limit — the signal the degradation ladder
+// folds into its watermark comparison. It may exceed 1.0 transiently.
+func (g *Governor) Pressure() float64 {
+	if g == nil {
+		return 0
+	}
+	p := float64(g.Usage()) / float64(g.cfg.Limit)
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// overPause reports whether producers should be held at the gate.
+func (g *Governor) overPause() bool {
+	return float64(g.Usage()) >= g.cfg.PauseAt*float64(g.cfg.Limit)
+}
+
+// Admit blocks while usage sits above the pause threshold, re-checking
+// every Poll, and returns when the producer may lease again. It returns
+// ctx.Err() if the context ends first — the producer is shutting down
+// and should stop producing rather than wait out the pressure.
+func (g *Governor) Admit(ctx context.Context) error {
+	if g == nil || !g.overPause() {
+		return nil
+	}
+	g.pauses.Add(1)
+	t0 := time.Now()
+	defer func() { g.pausedNanos.Add(int64(time.Since(t0))) }()
+	tick := time.NewTicker(g.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if !g.overPause() {
+				return nil
+			}
+		}
+	}
+}
+
+// GovernorStats is a point-in-time accounting snapshot.
+type GovernorStats struct {
+	LimitBytes int64
+	UsageBytes int64
+	Pressure   float64
+	// Components maps each registered component to its current bytes.
+	Components map[string]int64
+	// Pauses counts Admit calls that had to block; PausedNanos is the
+	// cumulative time producers spent blocked.
+	Pauses      int64
+	PausedNanos int64
+}
+
+// Stats snapshots the governor.
+func (g *Governor) Stats() GovernorStats {
+	if g == nil {
+		return GovernorStats{}
+	}
+	st := GovernorStats{
+		LimitBytes:  g.cfg.Limit,
+		Pauses:      g.pauses.Load(),
+		PausedNanos: g.pausedNanos.Load(),
+		Components:  make(map[string]int64),
+	}
+	for _, c := range *g.comps.Load() {
+		n := c.fn()
+		st.Components[c.name] = n
+		st.UsageBytes += n
+	}
+	st.Pressure = float64(st.UsageBytes) / float64(st.LimitBytes)
+	return st
+}
+
+// RegisterMetrics exposes the governor on a telemetry registry under
+// the mfa_guard_mem_* family. Call after every component is registered
+// so the per-component series set is complete.
+func (g *Governor) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("mfa_guard_mem_limit_bytes",
+		"Unified memory ceiling (-max-memory).",
+		func() float64 { return float64(g.cfg.Limit) })
+	reg.GaugeFunc("mfa_guard_mem_usage_bytes",
+		"Bytes currently accounted against the memory ceiling, all components.",
+		func() float64 { return float64(g.Usage()) })
+	reg.GaugeFunc("mfa_guard_mem_pressure",
+		"Governor pressure: usage over limit (may transiently exceed 1).",
+		func() float64 { return g.Pressure() })
+	reg.CounterFunc("mfa_guard_mem_pauses_total",
+		"Producer lease requests that blocked at the admission gate.",
+		func() float64 { return float64(g.pauses.Load()) })
+	reg.CounterFunc("mfa_guard_mem_paused_seconds_total",
+		"Cumulative time producers spent paused by the admission gate.",
+		func() float64 { return time.Duration(g.pausedNanos.Load()).Seconds() })
+	for _, c := range *g.comps.Load() {
+		c := c
+		reg.GaugeFunc("mfa_guard_mem_component_bytes",
+			"Bytes accounted by one governor component.",
+			func() float64 { return float64(c.fn()) },
+			telemetry.L("component", c.name))
+	}
+}

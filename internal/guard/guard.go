@@ -1,0 +1,28 @@
+// Package guard closes the loop between failure detection and reaction
+// across the serving pipeline: it is the resource-governance layer the
+// rest of the stack plugs into rather than each package growing its own
+// ad-hoc limits.
+//
+// The paper's flow model keeps per-flow matching state tiny precisely so
+// a DPI engine can survive adversarial traffic; guard extends that
+// posture from state size to liveness and memory. Three mechanisms, each
+// usable on its own (DESIGN.md §16):
+//
+//   - Watchdog (watchdog.go): detects stalls. Workers publish a
+//     lock-free heartbeat (scan sequence + start timestamp); a single
+//     watchdog goroutine polls the heartbeats and fires callbacks when
+//     one scan step runs past a deadline (stall) and again when it stays
+//     stuck (wedge). The hot path pays two atomic stores per step and
+//     takes no locks; all policy lives in the callbacks.
+//   - Governor (governor.go): one memory accountant. Components
+//     (arena leases, reassembly buffers, queue payloads) register usage
+//     callbacks; the governor aggregates them against a single byte
+//     ceiling, exposes the ratio as a pressure signal for the engine's
+//     degradation ladder, and gates producers through Admit — sources
+//     pause leasing before the process can be OOM-killed.
+//   - Breaker (breaker.go): a closed/open/half-open circuit breaker for
+//     restartable dependencies (input sources). Exhausting a failure
+//     budget opens the breaker for a capped, doubling interval instead
+//     of abandoning the dependency forever; a half-open probe re-enters
+//     service, and a sustained healthy run restores the budget.
+package guard

@@ -10,6 +10,9 @@
 package input
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -35,6 +38,61 @@ type Arena struct {
 	releases       atomic.Int64
 	misses         atomic.Int64
 	doubleReleases atomic.Int64
+
+	// bytesOut is the capacity of every outstanding lease — the arena's
+	// component callback for the unified memory governor (BytesLeased).
+	bytesOut atomic.Int64
+
+	// debug selects the double-release policy: 0 follows the build
+	// (panic under -race, count otherwise), 1 forces panic-with-origin,
+	// -1 forces counted-no-op. See SetDebug.
+	debug atomic.Int32
+}
+
+// SetDebug overrides the double-release debug guard: enabled, a second
+// Release on one lease panics with the lease's origin (file:line of the
+// Lease call) instead of being a counted no-op. The default — without a
+// SetDebug call — is enabled in race-instrumented builds (`go test
+// -race`) and disabled otherwise.
+func (a *Arena) SetDebug(enabled bool) {
+	if enabled {
+		a.debug.Store(1)
+	} else {
+		a.debug.Store(-1)
+	}
+}
+
+func (a *Arena) debugOn() bool {
+	switch a.debug.Load() {
+	case 1:
+		return true
+	case -1:
+		return false
+	default:
+		return raceEnabled
+	}
+}
+
+// BytesLeased reports the bytes currently out on lease (buffer
+// capacities, not requested lengths) — what the arena pins until the
+// engine releases the buffers back.
+func (a *Arena) BytesLeased() int64 { return a.bytesOut.Load() }
+
+// leaseOrigin names the first caller outside this file, for the
+// double-release diagnostic.
+func leaseOrigin() string {
+	var pcs [8]uintptr
+	n := runtime.Callers(3, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if !strings.HasSuffix(f.File, "arena.go") {
+			return fmt.Sprintf("%s:%d", f.File, f.Line)
+		}
+		if !more {
+			return "unknown"
+		}
+	}
 }
 
 // Buf is one leased buffer. It implements pcap.Owner: Release returns
@@ -45,6 +103,10 @@ type Buf struct {
 	class    int // index into arenaClasses; -1 = oversize, GC-owned
 	data     []byte
 	released atomic.Bool
+	// origin is the file:line of the Lease call, captured only while
+	// the debug guard is on, so a double-release panic names the lease
+	// site rather than the second Release site.
+	origin string
 }
 
 // Data returns the leased storage, sized as requested by Lease. Its
@@ -56,9 +118,17 @@ func (b *Buf) Data() []byte { return b.data }
 func (b *Buf) Release() {
 	if b.released.Swap(true) {
 		b.arena.doubleReleases.Add(1)
+		if b.arena.debugOn() {
+			origin := b.origin
+			if origin == "" {
+				origin = "unknown (lease predates debug guard)"
+			}
+			panic(fmt.Sprintf("input: double release of arena buffer leased at %s", origin))
+		}
 		return
 	}
 	b.arena.releases.Add(1)
+	b.arena.bytesOut.Add(-int64(cap(b.data)))
 	if b.class < 0 {
 		return // oversize: let the GC have it
 	}
@@ -70,6 +140,10 @@ func (b *Buf) Release() {
 // not a leak (the GC reclaims it) but defeats the pooling.
 func (a *Arena) Lease(n int) *Buf {
 	a.leases.Add(1)
+	origin := ""
+	if a.debugOn() {
+		origin = leaseOrigin()
+	}
 	class := -1
 	for i, size := range arenaClasses {
 		if n <= size {
@@ -79,16 +153,19 @@ func (a *Arena) Lease(n int) *Buf {
 	}
 	if class < 0 {
 		a.misses.Add(1)
-		return &Buf{arena: a, class: -1, data: make([]byte, n)}
+		a.bytesOut.Add(int64(n))
+		return &Buf{arena: a, class: -1, data: make([]byte, n), origin: origin}
 	}
+	a.bytesOut.Add(int64(arenaClasses[class]))
 	if v := a.pools[class].Get(); v != nil {
 		b := v.(*Buf)
 		b.released.Store(false)
 		b.data = b.data[:cap(b.data)][:n]
+		b.origin = origin
 		return b
 	}
 	a.misses.Add(1)
-	return &Buf{arena: a, class: class, data: make([]byte, n, arenaClasses[class])}
+	return &Buf{arena: a, class: class, data: make([]byte, n, arenaClasses[class]), origin: origin}
 }
 
 // ArenaStats is a point-in-time accounting snapshot.
@@ -97,6 +174,7 @@ type ArenaStats struct {
 	Releases       int64
 	Misses         int64
 	DoubleReleases int64
+	BytesLeased    int64
 }
 
 // Stats reads the arena's counters.
@@ -106,5 +184,6 @@ func (a *Arena) Stats() ArenaStats {
 		Releases:       a.releases.Load(),
 		Misses:         a.misses.Load(),
 		DoubleReleases: a.doubleReleases.Load(),
+		BytesLeased:    a.bytesOut.Load(),
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package input
+
+// raceEnabled is false in ordinary builds: double releases are counted
+// and made harmless, not fatal. See arena_race.go and Arena.SetDebug.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package input
+
+// raceEnabled makes the arena's double-release debug guard default to
+// on under `go test -race` / race-instrumented builds: a double release
+// is a lifetime bug of exactly the kind the race detector hunts, and
+// panicking with the lease's origin beats a counter nobody watches.
+const raceEnabled = true

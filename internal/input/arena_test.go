@@ -1,6 +1,9 @@
 package input
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestArenaLeaseSizing(t *testing.T) {
 	var a Arena
@@ -41,6 +44,7 @@ func TestArenaRecycles(t *testing.T) {
 
 func TestArenaDoubleReleaseCounted(t *testing.T) {
 	var a Arena
+	a.SetDebug(false) // the counted-no-op production policy, not the panic guard
 	b := a.Lease(64)
 	b.Release()
 	b.Release()
@@ -50,6 +54,48 @@ func TestArenaDoubleReleaseCounted(t *testing.T) {
 	}
 	if st.Releases != 1 {
 		t.Fatalf("releases: got %d, want 1 (second call must be a no-op)", st.Releases)
+	}
+}
+
+// TestArenaDoubleReleaseDebugGuard is the regression test for the debug
+// guard: with the guard on, a second Release panics and the message
+// names the file:line of the Lease call, so the bug is caught at its
+// source instead of surfacing as a silently shared buffer.
+func TestArenaDoubleReleaseDebugGuard(t *testing.T) {
+	var a Arena
+	a.SetDebug(true)
+	b := a.Lease(64)
+	b.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic with the debug guard on")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "double release") || !strings.Contains(msg, "arena_test.go:") {
+			t.Fatalf("panic %v does not name the lease origin", r)
+		}
+	}()
+	b.Release()
+}
+
+func TestArenaBytesLeased(t *testing.T) {
+	var a Arena
+	b1 := a.Lease(100)     // 2K class
+	b2 := a.Lease(3 << 10) // 16K class
+	b3 := a.Lease(1 << 20) // oversize: exact
+	want := int64(2<<10 + 16<<10 + 1<<20)
+	if got := a.BytesLeased(); got != want {
+		t.Fatalf("BytesLeased with three leases out = %d, want %d", got, want)
+	}
+	b1.Release()
+	b2.Release()
+	b3.Release()
+	if got := a.BytesLeased(); got != 0 {
+		t.Fatalf("BytesLeased after all releases = %d, want 0", got)
+	}
+	if st := a.Stats(); st.BytesLeased != 0 {
+		t.Fatalf("Stats.BytesLeased = %d, want 0", st.BytesLeased)
 	}
 }
 

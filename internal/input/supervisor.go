@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"matchfilter/internal/guard"
 	"matchfilter/internal/pcap"
 	"matchfilter/internal/telemetry"
 )
@@ -30,13 +31,34 @@ type Config struct {
 	// without touching the others.
 	QueueDepth int
 	// RestartBudget is how many restarts a failing source is granted
-	// before it is abandoned (state "failed") while the other sources
-	// keep serving. 0 means 8.
+	// before the supervisor escalates. For finite sources (files,
+	// spools) exhausting it abandons the source (state "failed") while
+	// the other sources keep serving. For infinite sources (sockets,
+	// live capture) it opens a circuit breaker instead: the source
+	// moves to capped-interval half-open probing rather than dying
+	// permanently. 0 means 8.
 	RestartBudget int
 	// BackoffBase and BackoffMax bound the exponential restart backoff.
 	// 0 means 100ms and 5s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BreakerOpenBase and BreakerOpenMax bound an infinite source's
+	// open-circuit interval: the first open waits BreakerOpenBase
+	// before a half-open probe, doubling per consecutive open up to
+	// BreakerOpenMax. 0 means 10s and 2m.
+	BreakerOpenBase time.Duration
+	BreakerOpenMax  time.Duration
+	// HealthyReset is how long a source must run cleanly for its
+	// restart budget to refill — a source that served for minutes and
+	// then hiccuped is not crash-looping, and transient early failures
+	// must not permanently eat the budget. Applies to both the finite
+	// budget and the breaker's failure budget. 0 means 30s.
+	HealthyReset time.Duration
+	// Governor, when non-nil, gates buffer leasing against the unified
+	// memory ceiling: Emitter.Lease blocks while governed usage sits
+	// above the governor's pause threshold, so sources stop pulling
+	// bytes off the wire before the arena can OOM the process.
+	Governor *guard.Governor
 	// Metrics, when non-nil, receives per-source series (segments,
 	// bytes, skips, malformed, restarts, queue depth/capacity, state)
 	// labeled source=<name>, plus the arena's lease accounting.
@@ -62,6 +84,15 @@ func (c *Config) setDefaults() {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 5 * time.Second
 	}
+	if c.BreakerOpenBase <= 0 {
+		c.BreakerOpenBase = 10 * time.Second
+	}
+	if c.BreakerOpenMax <= 0 {
+		c.BreakerOpenMax = 2 * time.Minute
+	}
+	if c.HealthyReset <= 0 {
+		c.HealthyReset = 30 * time.Second
+	}
 	if c.Arena == nil {
 		c.Arena = &Arena{}
 	}
@@ -84,9 +115,16 @@ const (
 	StateBackoff
 	// StateDone: completed cleanly (finite source EOF, or cancelled).
 	StateDone
-	// StateFailed: abandoned — restart budget exhausted, permanent
-	// error, or strict abort.
+	// StateFailed: abandoned — restart budget exhausted (finite
+	// sources), permanent error, or strict abort.
 	StateFailed
+	// StateOpen: an infinite source's circuit breaker is open — the
+	// source is left alone for a capped, doubling interval before a
+	// half-open probe.
+	StateOpen
+	// StateHalfOpen: one probe run is in flight; success closes the
+	// breaker, failure re-opens it.
+	StateHalfOpen
 )
 
 func (s SourceState) String() string {
@@ -101,6 +139,10 @@ func (s SourceState) String() string {
 		return "done"
 	case StateFailed:
 		return "failed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
 	default:
 		return fmt.Sprintf("SourceState(%d)", int32(s))
 	}
@@ -112,6 +154,10 @@ type sourceState struct {
 	src  Source
 	desc Description
 	ch   chan queuedSeg
+	// br is the circuit breaker; nil for finite sources, which keep the
+	// abandon-after-budget policy (probing a consumed file forever
+	// would just hold Run open after the pipeline's work is done).
+	br *guard.Breaker
 
 	segments  atomic.Int64 // segments accepted by the sink
 	bytes     atomic.Int64 // payload bytes of those segments
@@ -207,6 +253,14 @@ func (s *Supervisor) Add(src Source) {
 		desc: desc,
 		ch:   make(chan queuedSeg, s.cfg.QueueDepth),
 	}
+	if !desc.Finite {
+		st.br = guard.NewBreaker(guard.BreakerConfig{
+			FailureBudget: s.cfg.RestartBudget,
+			OpenBase:      s.cfg.BreakerOpenBase,
+			OpenMax:       s.cfg.BreakerOpenMax,
+			HealthyAfter:  s.cfg.HealthyReset,
+		})
+	}
 	s.sources = append(s.sources, st)
 	if reg := s.cfg.Metrics; reg != nil {
 		label := telemetry.L("source", desc.Name)
@@ -232,8 +286,19 @@ func (s *Supervisor) Add(src Source) {
 			"Handoff queue capacity of this source.",
 			func() float64 { return float64(cap(st.ch)) }, label)
 		reg.GaugeFunc("mfa_input_state",
-			"Source lifecycle: 0 pending, 1 running, 2 backoff, 3 done, 4 failed.",
+			"Source lifecycle: 0 pending, 1 running, 2 backoff, 3 done, 4 failed, 5 open, 6 half-open.",
 			func() float64 { return float64(st.state.Load()) }, label)
+		if st.br != nil {
+			reg.GaugeFunc("mfa_guard_breaker_state",
+				"Circuit state of this source's breaker: 0 closed, 1 open, 2 half-open.",
+				func() float64 { return float64(st.br.State()) }, label)
+			reg.CounterFunc("mfa_guard_breaker_opens_total",
+				"Times this source's breaker opened (failure budget spent).",
+				func() float64 { return float64(st.br.Opens()) }, label)
+			reg.CounterFunc("mfa_guard_breaker_probes_total",
+				"Half-open probes attempted for this source.",
+				func() float64 { return float64(st.br.Probes()) }, label)
+		}
 	}
 }
 
@@ -303,15 +368,42 @@ func (s *Supervisor) pump(st *sourceState) {
 	}
 }
 
-// supervise runs one source through its restart policy.
+// supervise runs one source through its restart policy. Finite sources
+// keep the abandon-after-budget policy; infinite sources escalate to
+// their circuit breaker (capped-interval half-open probing) instead of
+// dying permanently. Either way, a run that lasted HealthyReset refills
+// the budget, so transient early failures do not permanently eat it.
 func (s *Supervisor) supervise(ctx context.Context, st *sourceState) {
 	em := &Emitter{sup: s, st: st, ctx: ctx}
 	backoff := s.cfg.BackoffBase
+	budgetUsed := 0 // finite-source failures since the last healthy run
 	for {
-		st.state.Store(int32(StateRunning))
+		if st.br != nil && st.br.State() == guard.BreakerHalfOpen {
+			st.state.Store(int32(StateHalfOpen))
+		} else {
+			st.state.Store(int32(StateRunning))
+		}
+		started := time.Now()
+		var healthTimer *time.Timer
+		if st.br != nil {
+			// If this run survives HealthyReset, refill the breaker's
+			// budget mid-run (a later crash starts from a full budget)
+			// and promote a half-open probe to plain running.
+			healthTimer = time.AfterFunc(s.cfg.HealthyReset, func() {
+				st.br.Healthy()
+				st.state.CompareAndSwap(int32(StateHalfOpen), int32(StateRunning))
+			})
+		}
 		err := runGuarded(ctx, st.src, em)
+		ranFor := time.Since(started)
+		if healthTimer != nil {
+			healthTimer.Stop()
+		}
 		switch {
 		case err == nil:
+			if st.br != nil {
+				st.br.Success()
+			}
 			st.state.Store(int32(StateDone))
 			return
 		case ctx.Err() != nil:
@@ -340,11 +432,35 @@ func (s *Supervisor) supervise(ctx context.Context, st *sourceState) {
 			s.cfg.Logf("input: source %s failed permanently: %v", st.desc.Name, err)
 			return
 		}
-		if st.restarts.Add(1) > int64(s.cfg.RestartBudget) {
-			st.state.Store(int32(StateFailed))
-			s.cfg.Logf("input: source %s exhausted its restart budget (%d): %v",
-				st.desc.Name, s.cfg.RestartBudget, err)
-			return
+		st.restarts.Add(1)
+		if st.br != nil {
+			brState, wait := st.br.Failure(ranFor)
+			if brState == guard.BreakerOpen {
+				s.cfg.Logf("input: source %s opened its circuit breaker (%v), probing in %v",
+					st.desc.Name, err, wait)
+				st.state.Store(int32(StateOpen))
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					st.state.Store(int32(StateDone))
+					return
+				}
+				st.br.Probe()
+				backoff = s.cfg.BackoffBase
+				continue
+			}
+		} else {
+			if ranFor >= s.cfg.HealthyReset {
+				budgetUsed = 0
+				backoff = s.cfg.BackoffBase
+			}
+			budgetUsed++
+			if budgetUsed > s.cfg.RestartBudget {
+				st.state.Store(int32(StateFailed))
+				s.cfg.Logf("input: source %s exhausted its restart budget (%d): %v",
+					st.desc.Name, s.cfg.RestartBudget, err)
+				return
+			}
 		}
 		s.cfg.Logf("input: source %s failed (%v), restarting in %v", st.desc.Name, err, backoff)
 		st.state.Store(int32(StateBackoff))
@@ -384,7 +500,11 @@ type SourceStats struct {
 	Restarts      int64
 	QueueDepth    int
 	QueueCap      int
-	LastError     string `json:",omitempty"`
+	// Breaker is the circuit state ("closed"/"open"/"half-open") for
+	// infinite sources; empty for finite sources, which have none.
+	Breaker      string `json:",omitempty"`
+	BreakerOpens int64  `json:",omitempty"`
+	LastError    string `json:",omitempty"`
 }
 
 // Stats snapshots every source's accounting.
@@ -405,8 +525,25 @@ func (s *Supervisor) Stats() []SourceStats {
 			QueueCap:      cap(st.ch),
 			LastError:     st.lastError(),
 		}
+		if st.br != nil {
+			out[i].Breaker = st.br.State().String()
+			out[i].BreakerOpens = st.br.Opens()
+		}
 	}
 	return out
+}
+
+// OpenBreakers counts sources whose circuit breaker is not closed —
+// open or probing half-open. The admin layer reports /healthz degraded
+// while this is non-zero.
+func (s *Supervisor) OpenBreakers() int {
+	n := 0
+	for _, st := range s.sources {
+		if st.br != nil && st.br.State() != guard.BreakerClosed {
+			n++
+		}
+	}
+	return n
 }
 
 // Malformed totals the malformed count across sources — the number the
@@ -436,8 +573,16 @@ type Emitter struct {
 	ctx context.Context
 }
 
-// Lease leases an n-byte buffer from the pipeline's arena.
-func (em *Emitter) Lease(n int) *Buf { return em.sup.cfg.Arena.Lease(n) }
+// Lease leases an n-byte buffer from the pipeline's arena. When a
+// memory governor is configured it is the admission gate: Lease blocks
+// while governed usage sits above the pause threshold, so the source
+// stops pulling bytes off the wire until in-flight work lands. If the
+// pipeline stops while paused, the lease proceeds anyway — the source's
+// next Segment/Frame call observes the cancellation and returns.
+func (em *Emitter) Lease(n int) *Buf {
+	_ = em.sup.cfg.Governor.Admit(em.ctx)
+	return em.sup.cfg.Arena.Lease(n)
+}
 
 // Segment hands one pre-decoded segment (socket and live sources
 // synthesize their own flow keys) to the sink via the source's bounded

@@ -6,10 +6,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"matchfilter/internal/leakcheck"
 )
 
 func runSupervisor(t *testing.T, cfg Config, srcs ...Source) ([]SourceStats, error) {
 	t.Helper()
+	leakcheck.Check(t)
 	sup := NewSupervisor(cfg)
 	for _, s := range srcs {
 		sup.Add(s)

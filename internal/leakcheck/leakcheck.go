@@ -1,0 +1,96 @@
+// Package leakcheck is a hand-rolled goroutine-leak assertion for
+// tests: snapshot the live goroutines at the start of a test, and at
+// cleanup fail if any *new* goroutine running this project's code is
+// still alive after a grace period.
+//
+// The filter is deliberately narrow — only goroutines whose stack
+// mentions matchfilter/internal (excluding this package) count as
+// leaks. Runtime helpers, testing harness goroutines, and net/http
+// background pollers churn freely between snapshots and must not flake
+// the suite. The grace period (3s, polled every 20ms) absorbs benign
+// shutdown races: a Close that has signalled its workers but not yet
+// been scheduled to reap them is not a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stacks returns the full goroutine dump.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// goroutines parses a dump into id → stack body.
+func goroutines() map[string]string {
+	out := make(map[string]string)
+	for _, g := range strings.Split(stacks(), "\n\n") {
+		// Each block starts "goroutine N [state]:".
+		rest, ok := strings.CutPrefix(g, "goroutine ")
+		if !ok {
+			continue
+		}
+		id, _, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		out[id] = g
+	}
+	return out
+}
+
+// interesting reports whether a leaked stack belongs to project code.
+func interesting(stack string) bool {
+	return strings.Contains(stack, "matchfilter/internal/") &&
+		!strings.Contains(stack, "matchfilter/internal/leakcheck")
+}
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails the test if new project goroutines outlive the test body.
+//
+//	func TestClose(t *testing.T) {
+//	    leakcheck.Check(t)
+//	    ...
+//	}
+func Check(t testing.TB) {
+	t.Helper()
+	before := goroutines()
+	t.Cleanup(func() {
+		var leaked []string
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutines() {
+				if _, existed := before[id]; !existed && interesting(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d leaked goroutine(s):\n", len(leaked))
+		for _, stack := range leaked {
+			sb.WriteString("\n")
+			sb.WriteString(stack)
+			sb.WriteString("\n")
+		}
+		t.Error(sb.String())
+	})
+}

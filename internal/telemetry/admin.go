@@ -5,7 +5,8 @@
 //
 //	/metrics  Prometheus text exposition of the registry
 //	/statsz   JSON application snapshot (whatever Statsz returns)
-//	/healthz  200 "ok" / 503 with the failure reason, from Health
+//	/healthz  200 "ok" (or 200 "degraded: ..." from Degraded) / 503
+//	          with the failure reason, from Health
 //	/events   JSON tail of the match-event ring (?n= bounds the tail)
 //	/reload   POST: validate and hot-swap the pattern set (when wired)
 //	/debug/pprof/...  the standard net/http/pprof profiling handlers
@@ -41,6 +42,13 @@ type Admin struct {
 	// Health backs /healthz: nil error means healthy. The callback must
 	// implement the same predicate as the process's unhealthy exit code.
 	Health func() error
+	// Degraded, when non-nil, lets /healthz distinguish "up but impaired"
+	// from healthy without changing the 503 predicate: if Health passes
+	// but Degraded returns a non-empty reason (open circuit breakers, a
+	// recent watchdog recovery), the endpoint still answers 200 — load
+	// balancers must not evict a self-healing daemon — but the body reads
+	// "degraded: <reason>" so probes and operators can see it.
+	Degraded func() string
 	// Statsz backs /statsz with any JSON-serializable snapshot.
 	Statsz func() any
 	// Reload, when non-nil, enables POST /reload: one call per request,
@@ -78,6 +86,12 @@ func (a *Admin) Handler() http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.Degraded != nil {
+			if reason := a.Degraded(); reason != "" {
+				fmt.Fprintf(w, "degraded: %s\n", reason)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {

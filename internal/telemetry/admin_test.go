@@ -96,6 +96,32 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminDegraded pins the three-way health contract: healthy is
+// 200 "ok", degraded is still 200 (a self-healing daemon must not be
+// evicted) but says so, and Health failing wins over Degraded with 503.
+func TestAdminDegraded(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	var reason atomic.Value
+	reason.Store("")
+	a := testAdmin(&healthy)
+	a.Degraded = func() string { return reason.Load().(string) }
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthy /healthz = %d %q", code, body)
+	}
+	reason.Store("1 circuit breaker open")
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "degraded: 1 circuit breaker open") {
+		t.Errorf("degraded /healthz = %d %q, want 200 with reason", code, body)
+	}
+	healthy.Store(false)
+	if code, body := get(t, srv, "/healthz"); code != 503 || !strings.Contains(body, "unhealthy") {
+		t.Errorf("unhealthy+degraded /healthz = %d %q, want 503", code, body)
+	}
+}
+
 func TestAdminNilPieces(t *testing.T) {
 	srv := httptest.NewServer((&Admin{}).Handler())
 	defer srv.Close()
