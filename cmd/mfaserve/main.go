@@ -44,6 +44,23 @@
 // the match-event ring) and /debug/pprof. The admin server drains
 // gracefully under the same -drain-timeout bound as the engine.
 //
+// Multi-tenant serving (DESIGN.md §17): the repeatable -tenant flag
+// declares independent rule sets served by one daemon —
+//
+//	mfaserve -set C8 \
+//	  -tenant 'acme=acme-rules.txt,cidr=10.1.0.0/16,max-flows=50000' \
+//	  -tenant 'globex=set:S24,max-buffered=64M' \
+//	  -source 'udp::9999?tenant=acme' -admin :9090
+//
+// Traffic is tagged to a tenant at ingest: a ?tenant= source binding
+// claims a whole source, cidr= rules classify mixed sources by IP
+// range, and everything untagged scans against the default -set/-rules
+// set. Each tenant hot-reloads independently (PUT
+// /tenants/<id>/rules mirrors POST /reload's validation gate), carries
+// its own quotas wired into the memory governor and degradation
+// ladder, and gets tenant-labeled mfa_tenant_* metrics plus a private
+// match ring at /tenants/<id>/events.
+//
 // Hot reload (DESIGN.md §14): SIGHUP or POST /reload re-reads the
 // original -engine/-set/-rules source, validates the candidate (decode,
 // compile, self-check scan), and swaps it in as a new pattern generation
@@ -65,11 +82,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -87,6 +106,7 @@ import (
 	"matchfilter/internal/patterns"
 	"matchfilter/internal/regexparse"
 	"matchfilter/internal/telemetry"
+	"matchfilter/internal/tenant"
 )
 
 // sourceSpecs collects the repeatable -source flag.
@@ -124,7 +144,9 @@ func run() (int, error) {
 	engineFile := flag.String("engine", "", "load a compiled engine written by mfabuild -o")
 	pcapPath := flag.String("pcap", "-", "pcap input to scan (- for stdin); shorthand for -source pcap:PATH")
 	var srcSpecs sourceSpecs
-	flag.Var(&srcSpecs, "source", "input source, repeatable: pcap:PATH|GLOB, spool:DIR, tcp:ADDR, udp:ADDR, afpacket:IFACE")
+	flag.Var(&srcSpecs, "source", "input source, repeatable: pcap:PATH|GLOB, spool:DIR, tcp:ADDR, udp:ADDR, afpacket:IFACE; per-source options ride a query suffix: ?tenant=ID (bind all traffic to a tenant), ?rate=100M (replay rate limit), ?seq (udp: 4-byte sequence headers, gap/reorder accounting)")
+	var tenSpecs sourceSpecs
+	flag.Var(&tenSpecs, "tenant", "tenant rule set, repeatable: 'id=RULES.txt[,cidr=10.1.0.0/16][,max-flows=N][,max-buffered=SIZE]' (RULES may be set:NAME for a built-in set; cidr may repeat)")
 	sourceQueue := flag.Int("source-queue", 256, "per-source handoff queue depth (segments)")
 	shards := flag.Int("shards", 0, "shard goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 4096, "per-shard queue depth (segments)")
@@ -175,13 +197,15 @@ func run() (int, error) {
 			pcapSet = true
 		}
 	})
-	var srcs []input.Source
+	var srcs []parsedSource
 	if pcapSet {
 		s, err := input.ExpandPcaps(*pcapPath)
 		if err != nil {
 			return exitError, err
 		}
-		srcs = append(srcs, s...)
+		for _, src := range s {
+			srcs = append(srcs, parsedSource{src: src})
+		}
 	}
 	for _, spec := range srcSpecs {
 		s, err := parseSource(spec)
@@ -198,18 +222,33 @@ func run() (int, error) {
 	cur.Store(&loadedRules{m: m, sources: sources})
 
 	// Matches arrive concurrently from shard goroutines; serialize the
-	// report lines.
+	// report lines. treg is assigned before the engine starts (and is nil
+	// in a single-tenant daemon); tenant matches resolve their rule text
+	// against the tenant's own set and carry a [tenant] prefix, while
+	// default-set lines keep their historic format byte for byte.
+	var treg *tenant.Registry
 	var mu sync.Mutex
 	onMatch := func(mt engine.Match) {
 		if *quiet {
 			return
 		}
-		src := ""
-		if lr := cur.Load(); mt.ID >= 1 && int(mt.ID) <= len(lr.sources) {
+		src, tenantID := "", ""
+		if mt.Flow.Tenant != 0 && treg != nil {
+			if t := treg.Lookup(mt.Flow.Tenant); t != nil {
+				tenantID = t.ID()
+				if ts := t.Sources(); mt.ID >= 1 && int(mt.ID) <= len(ts) {
+					src = ts[mt.ID-1]
+				}
+			}
+		} else if lr := cur.Load(); mt.ID >= 1 && int(mt.ID) <= len(lr.sources) {
 			src = lr.sources[mt.ID-1]
 		}
 		mu.Lock()
-		fmt.Printf("%s offset %d: rule %d (%s)\n", mt.Flow, mt.Pos, mt.ID, src)
+		if tenantID != "" {
+			fmt.Printf("[%s] %s offset %d: rule %d (%s)\n", tenantID, mt.Flow, mt.Pos, mt.ID, src)
+		} else {
+			fmt.Printf("%s offset %d: rule %d (%s)\n", mt.Flow, mt.Pos, mt.ID, src)
+		}
 		mu.Unlock()
 	}
 
@@ -231,6 +270,24 @@ func run() (int, error) {
 		gov = guard.NewGovernor(guard.GovernorConfig{Limit: memLimit})
 	}
 
+	// Multi-tenant serving: the registry is created before the engine (the
+	// engine's dispatch gate consults it) and bound after (tenant swaps
+	// ride the engine's command machinery) — then the -tenant specs
+	// install each tenant's first generation.
+	var tenantCIDRs []tenant.CIDRRule
+	var tenantInstalls []tenantInstall
+	if len(tenSpecs) > 0 {
+		treg = tenant.NewRegistry(tenant.Config{Metrics: reg, Governor: gov, EventsCap: *eventsCap})
+		for _, spec := range tenSpecs {
+			ti, err := parseTenantSpec(spec)
+			if err != nil {
+				return exitError, err
+			}
+			tenantInstalls = append(tenantInstalls, ti)
+			tenantCIDRs = append(tenantCIDRs, ti.cidrs...)
+		}
+	}
+
 	cfg := engine.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
@@ -243,11 +300,22 @@ func run() (int, error) {
 		StallDeadline: *stallDeadline,
 		Metrics:       reg,
 		Events:        events,
+		Tenants:       treg,
 	}
 	if gov != nil {
 		cfg.MemPressure = gov.Pressure
 	}
 	e := engine.New(cfg, func() flow.Runner { return m.NewRunner() }, onMatch)
+	if treg != nil {
+		treg.Bind(e)
+		for _, ti := range tenantInstalls {
+			if _, _, err := treg.Put(ti.id, ti.spec); err != nil {
+				e.Close()
+				return exitError, fmt.Errorf("-tenant %s: %w", ti.id, err)
+			}
+		}
+		treg.SetCIDRs(tenantCIDRs)
+	}
 	arena := &input.Arena{}
 	if gov != nil {
 		gov.Register("arena", arena.BytesLeased)
@@ -287,7 +355,7 @@ func run() (int, error) {
 	// the engine, with leased payload buffers the engine recycles after
 	// each scan. Strict-mode policy lives here now — the first malformed
 	// frame or record anywhere surfaces as a *input.StrictError.
-	sup := input.NewSupervisor(input.Config{
+	supCfg := input.Config{
 		Sink:       e,
 		Strict:     *strict,
 		QueueDepth: *sourceQueue,
@@ -297,9 +365,28 @@ func run() (int, error) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mfaserve: "+format+"\n", args...)
 		},
-	})
-	for _, src := range srcs {
-		sup.Add(src)
+	}
+	if treg != nil {
+		supCfg.Tagger = treg.Tag
+	}
+	sup := input.NewSupervisor(supCfg)
+	for _, ps := range srcs {
+		opts := input.SourceOptions{RateBytesPerSec: ps.rate}
+		if ps.tenantID != "" {
+			// A per-source binding needs the tenant's dispatch index, so
+			// the tenant must exist at startup (declared via -tenant).
+			if treg == nil {
+				e.Close()
+				return exitError, fmt.Errorf("-source ?tenant=%s: no -tenant flags declared", ps.tenantID)
+			}
+			t := treg.ByID(ps.tenantID)
+			if t == nil {
+				e.Close()
+				return exitError, fmt.Errorf("-source ?tenant=%s: unknown tenant (declare it with -tenant)", ps.tenantID)
+			}
+			opts.Tenant = t.Index()
+		}
+		sup.AddOptions(ps.src, opts)
 	}
 
 	var admin *telemetry.Server
@@ -341,15 +428,23 @@ func run() (int, error) {
 					s := gov.Stats()
 					gst = &s
 				}
+				var tst []tenant.Stats
+				if treg != nil {
+					tst = treg.List()
+				}
 				return struct {
 					Inputs   []input.SourceStats
 					Arena    input.ArenaStats
 					Governor *guard.GovernorStats `json:",omitempty"`
 					Engine   engine.Stats
+					Tenants  []tenant.Stats `json:",omitempty"`
 					Build    core.BuildStats
-				}{sup.Stats(), sup.Arena().Stats(), gst, e.Stats(), cur.Load().m.Stats()}
+				}{sup.Stats(), sup.Arena().Stats(), gst, e.Stats(), tst, cur.Load().m.Stats()}
 			},
 			Reload: rl.Reload,
+		}
+		if treg != nil {
+			a.Tenants = treg.AdminHandler(compileRules)
 		}
 		var err error
 		if admin, err = a.Start(*adminAddr); err != nil {
@@ -445,26 +540,191 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// parsedSource is one registered source plus its ingest options from
+// the spec's query suffix (the tenant id resolves to an index only
+// after the registry is populated, so it rides along as a name).
+type parsedSource struct {
+	src      input.Source
+	tenantID string
+	rate     int64
+}
+
 // parseSource turns one -source spec into sources. A pcap glob expands
-// to one source per file, scanned in parallel.
-func parseSource(spec string) ([]input.Source, error) {
+// to one source per file, scanned in parallel. A URL-style query suffix
+// carries per-source options: ?tenant=ID, ?rate=100M, ?seq (udp only).
+func parseSource(spec string) ([]parsedSource, error) {
 	kind, rest, ok := strings.Cut(spec, ":")
 	if !ok || rest == "" {
 		return nil, fmt.Errorf("-source %q: want kind:arg (pcap:PATH, spool:DIR, tcp:ADDR, udp:ADDR, afpacket:IFACE)", spec)
 	}
+	rest, query, hasQuery := strings.Cut(rest, "?")
+	var ps parsedSource
+	seq := false
+	if hasQuery {
+		q, err := url.ParseQuery(query)
+		if err != nil {
+			return nil, fmt.Errorf("-source %q: bad options: %w", spec, err)
+		}
+		for k := range q {
+			switch k {
+			case "tenant":
+				ps.tenantID = q.Get("tenant")
+			case "rate":
+				r, err := parseBytes(q.Get("rate"))
+				if err != nil {
+					return nil, fmt.Errorf("-source %q: rate: %w", spec, err)
+				}
+				ps.rate = r
+			case "seq":
+				if kind != "udp" {
+					return nil, fmt.Errorf("-source %q: ?seq applies to udp sources only", spec)
+				}
+				seq = true
+			default:
+				return nil, fmt.Errorf("-source %q: unknown option %q (tenant, rate, seq)", spec, k)
+			}
+		}
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("-source %q: empty address", spec)
+	}
+	var srcs []input.Source
 	switch kind {
 	case "pcap":
-		return input.ExpandPcaps(rest)
+		var err error
+		if srcs, err = input.ExpandPcaps(rest); err != nil {
+			return nil, err
+		}
 	case "spool":
-		return []input.Source{input.NewSpool(rest)}, nil
+		srcs = []input.Source{input.NewSpool(rest)}
 	case "tcp":
-		return []input.Source{input.NewTCPListener(rest)}, nil
+		srcs = []input.Source{input.NewTCPListener(rest)}
 	case "udp":
-		return []input.Source{input.NewUDPListener(rest)}, nil
+		u := input.NewUDPListener(rest)
+		u.Seq = seq
+		srcs = []input.Source{u}
 	case "afpacket":
-		return []input.Source{input.NewAFPacket(rest)}, nil
+		srcs = []input.Source{input.NewAFPacket(rest)}
+	default:
+		return nil, fmt.Errorf("-source %q: unknown kind %q (pcap, spool, tcp, udp, afpacket)", spec, kind)
 	}
-	return nil, fmt.Errorf("-source %q: unknown kind %q (pcap, spool, tcp, udp, afpacket)", spec, kind)
+	out := make([]parsedSource, len(srcs))
+	for i, s := range srcs {
+		out[i] = parsedSource{src: s, tenantID: ps.tenantID, rate: ps.rate}
+	}
+	return out, nil
+}
+
+// tenantInstall is one parsed -tenant flag, ready to Put once the
+// registry is bound to the engine.
+type tenantInstall struct {
+	id    string
+	spec  tenant.PutSpec
+	cidrs []tenant.CIDRRule
+}
+
+// parseTenantSpec parses and compiles one -tenant flag:
+// 'id=RULES[,cidr=CIDR][,max-flows=N][,max-buffered=SIZE]'. RULES is a
+// rules file path, or set:NAME for a built-in set. The rule set is
+// compiled and self-checked here, so a bad tenant spec fails startup
+// the same way a bad -rules file does.
+func parseTenantSpec(spec string) (tenantInstall, error) {
+	var ti tenantInstall
+	fields := strings.Split(spec, ",")
+	id, rulesSrc, ok := strings.Cut(fields[0], "=")
+	if !ok || id == "" || rulesSrc == "" {
+		return ti, fmt.Errorf("-tenant %q: want id=RULES[,options]", spec)
+	}
+	ti.id = id
+	var body []byte
+	if name, isSet := strings.CutPrefix(rulesSrc, "set:"); isSet {
+		prules, err := patterns.Load(name)
+		if err != nil {
+			return ti, fmt.Errorf("-tenant %s: %w", id, err)
+		}
+		var b strings.Builder
+		for _, r := range prules {
+			b.WriteString(r.Source)
+			b.WriteByte('\n')
+		}
+		body = []byte(b.String())
+	} else {
+		var err error
+		if body, err = os.ReadFile(rulesSrc); err != nil {
+			return ti, fmt.Errorf("-tenant %s: %w", id, err)
+		}
+	}
+	ti.spec.Rules = body
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return ti, fmt.Errorf("-tenant %s: bad option %q", id, f)
+		}
+		switch k {
+		case "cidr":
+			rule, err := tenant.ParseCIDRRule(v + "=" + id)
+			if err != nil {
+				return ti, fmt.Errorf("-tenant %s: %w", id, err)
+			}
+			ti.cidrs = append(ti.cidrs, rule)
+		case "max-flows":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return ti, fmt.Errorf("-tenant %s: bad max-flows %q", id, v)
+			}
+			ti.spec.Quota.MaxFlows = n
+		case "max-buffered":
+			n, err := parseBytes(v)
+			if err != nil {
+				return ti, fmt.Errorf("-tenant %s: max-buffered: %w", id, err)
+			}
+			ti.spec.Quota.MaxBufferedBytes = n
+		default:
+			return ti, fmt.Errorf("-tenant %s: unknown option %q (cidr, max-flows, max-buffered)", id, k)
+		}
+	}
+	var err error
+	if ti.spec.NewRunner, ti.spec.Sources, err = compileRules(body); err != nil {
+		return ti, fmt.Errorf("-tenant %s: %w", id, err)
+	}
+	return ti, nil
+}
+
+// compileRules is the tenant rule-set gate: parse the rule text, compile
+// it, and self-check the automaton — exactly the pipeline POST /reload
+// runs for the default set. It serves both -tenant startup specs and
+// PUT /tenants/<id>/rules (as the registry's tenant.Compiler).
+func compileRules(body []byte) (func() flow.Runner, []string, error) {
+	var rules []core.Rule
+	var sources []string
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := regexparse.ParsePCRE(line)
+		if err != nil {
+			return nil, nil, err
+		}
+		rules = append(rules, core.Rule{Pattern: p, ID: int32(len(rules) + 1)})
+		sources = append(sources, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(rules) == 0 {
+		return nil, nil, fmt.Errorf("no patterns")
+	}
+	m, err := core.Compile(rules, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.SelfCheck(); err != nil {
+		return nil, nil, err
+	}
+	return func() flow.Runner { return m.NewRunner() }, sources, nil
 }
 
 // progressLoop prints one stats line per tick until stop closes. The

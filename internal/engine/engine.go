@@ -46,6 +46,7 @@ import (
 	"matchfilter/internal/guard"
 	"matchfilter/internal/pcap"
 	"matchfilter/internal/telemetry"
+	"matchfilter/internal/tenant"
 )
 
 // Match is one confirmed match attributed to a flow (alias of
@@ -131,6 +132,13 @@ type Config struct {
 	// ring entry (flow key, pattern id, byte offset) for the admin
 	// /events endpoint. May be shared with other writers.
 	Events *telemetry.EventRing
+	// Tenants, when non-nil, enables multi-tenant serving (tenant.go):
+	// dispatch admits nonzero-tagged segments only for tenants published
+	// in the registry, shards serve per-tenant rule generations, and
+	// matches on tenant flows feed the tenant's counters and event ring.
+	// Wire it by building the registry first, passing it here, then
+	// calling Registry.Bind(engine). Untagged traffic never touches it.
+	Tenants *tenant.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -189,9 +197,17 @@ type Engine struct {
 	drained   chan struct{} // closed when every shard goroutine has exited
 
 	// gen is the pattern generation new flows start on (reload.go).
-	// reloadMu serializes Reload calls.
+	// reloadMu serializes Reload/ReloadTenant/DropTenant calls.
 	gen      atomic.Pointer[generation]
 	reloadMu sync.Mutex
+
+	// Tenant serving state (tenant.go): tenantCur maps tenant index to
+	// its current generation so rebuilt assemblers replay the tenant
+	// set; tenantUnknown counts tagged segments shed at dispatch because
+	// their tenant is not published in Config.Tenants.
+	tenantMu      sync.Mutex
+	tenantCur     map[uint32]*generation
+	tenantUnknown atomic.Int64
 
 	skipped    atomic.Int64 // non-TCP frames
 	queueDrops atomic.Int64 // segments dropped by DropWhenFull
@@ -271,6 +287,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		e.evalEvery = 256
 	}
 	events := cfg.Events
+	tenants := cfg.Tenants
 	for i := range e.shards {
 		s := &shard{
 			idx:         i,
@@ -288,24 +305,35 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		var lastFlow string
 		shardMatch := func(m Match) {
 			s.matches.Add(1)
-			if events != nil {
+			var tn *tenant.Tenant
+			if tenants != nil && m.Flow.Tenant != 0 {
+				tn = tenants.Lookup(m.Flow.Tenant)
+			}
+			if events != nil || tn != nil {
 				if m.Flow != lastKey || lastFlow == "" {
 					lastKey, lastFlow = m.Flow, m.Flow.String()
 				}
-				events.Add(telemetry.Event{TimeUnixNano: s.evNano, Flow: lastFlow, Pattern: m.ID, Offset: m.Pos})
+				ev := telemetry.Event{TimeUnixNano: s.evNano, Flow: lastFlow, Pattern: m.ID, Offset: m.Pos}
+				if events != nil {
+					events.Add(ev)
+				}
+				if tn != nil {
+					tn.CountMatch(ev)
+				}
 			}
 			if onMatch != nil {
 				onMatch(m)
 			}
 		}
-		// rebuild consults the *current* generation, so an assembler
-		// rebuilt after corruption — or built fresh here — starts its
-		// flows on whatever pattern set is serving now, not the one the
-		// engine booted with.
+		// rebuild consults the *current* generation — and the current
+		// tenant set — so an assembler rebuilt after corruption — or
+		// built fresh here — starts its flows on whatever pattern sets
+		// are serving now, not the ones the engine booted with.
 		s.rebuild = func() *flow.Assembler {
 			g := e.gen.Load()
 			a := flow.NewAssembler(cfg.Flow, g.newRunner, shardMatch)
 			a.SetGeneration(g.flowGen(), false)
+			e.installTenants(a)
 			return a
 		}
 		s.asm = s.rebuild()
@@ -395,6 +423,18 @@ func (e *Engine) HandleSegmentOwned(seg pcap.Segment, owner pcap.Owner) error {
 		release(owner)
 		return nil
 	}
+	if seg.Key.Tenant != 0 {
+		// Tagged segment: admit only while the tenant is published (one
+		// lock-free index load). A tag with no registry, or one whose
+		// tenant was deleted, is shed here with accounting — never
+		// scanned under the wrong rule set. Untagged traffic skips this
+		// entirely.
+		if e.cfg.Tenants == nil || e.cfg.Tenants.Lookup(seg.Key.Tenant) == nil {
+			e.tenantUnknown.Add(1)
+			release(owner)
+			return nil
+		}
+	}
 	s := e.shards[shardIndex(seg.Key, len(e.shards))]
 	if s.wedged.Load() {
 		// The shard is stuck mid-scan past WedgeAfter: queueing behind a
@@ -446,7 +486,16 @@ func (e *Engine) HandleSegmentOwned(seg pcap.Segment, owner pcap.Owner) error {
 // gauges) plus non-leased payload bytes parked in shard queues. It is
 // the engine's component callback for the unified memory governor.
 func (e *Engine) MemoryUsage() int64 {
-	return e.flowGauges.BufferedBytes.Value() + e.queuedBytes.Load()
+	n := e.flowGauges.BufferedBytes.Value() + e.queuedBytes.Load()
+	if e.cfg.Tenants != nil {
+		// Tenant-attributed reassembly bytes answer to their own governor
+		// components ("tenant:<id>"); subtract them so the engine
+		// component does not double-bill the same buffers.
+		if tb := e.cfg.Tenants.BufferedBytes(); tb < n {
+			n -= tb
+		}
+	}
+	return n
 }
 
 // LastStallRecovery reports when a stall was last recovered (a flagged
@@ -486,6 +535,15 @@ func shardIndex(k pcap.FlowKey, n int) int {
 	} {
 		for shift := 0; shift < 32; shift += 8 {
 			h ^= uint64(byte(w >> shift))
+			h *= prime64
+		}
+	}
+	if k.Tenant != 0 {
+		// Fold the tenant tag in so tenants replaying overlapping address
+		// space spread independently; untagged traffic keeps its historic
+		// shard mapping (and pays nothing here).
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(k.Tenant >> shift))
 			h *= prime64
 		}
 	}
@@ -574,6 +632,15 @@ type Stats struct {
 	GenFlows     map[uint64]int64
 	FlowRestarts int64
 	StaleRunners int64
+
+	// Multi-tenant serving (tenant.go). TenantDrops counts segments
+	// refused inside shard assemblers by tenant policy (quota overrun or
+	// an unknown tag that raced a delete through a queue); the
+	// per-tenant split lives in each tenant's own counters.
+	// UnknownTenantDrops counts tagged segments shed at dispatch because
+	// their tenant was not published.
+	TenantDrops        int64
+	UnknownTenantDrops int64
 }
 
 // Stats aggregates the engine's counters.
@@ -587,6 +654,7 @@ func (e *Engine) Stats() Stats {
 		ShardMatches:  make([]int64, len(e.shards)),
 		ShardPackets:  make([]int64, len(e.shards)),
 	}
+	st.UnknownTenantDrops = e.tenantUnknown.Load()
 	for i, s := range e.shards {
 		a := s.snap.Load()
 		st.Packets += a.Packets
@@ -600,6 +668,7 @@ func (e *Engine) Stats() Stats {
 		st.RunnersReused += a.RunnersReused
 		st.FlowRestarts += a.FlowRestarts
 		st.StaleRunners += a.StaleRunners
+		st.TenantDrops += a.TenantDrops
 		for id, n := range a.FlowsByGen {
 			if st.GenFlows == nil {
 				st.GenFlows = make(map[uint64]int64)

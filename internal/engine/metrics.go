@@ -64,6 +64,12 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) {
 		"Flows restarted in place by a SYN on a live 4-tuple (connection reuse).", sumSnap(func(a *flow.Stats) int64 { return a.FlowRestarts }))
 	reg.CounterFunc("mfa_engine_stale_runners_total",
 		"Superseded-generation runners discarded instead of recycled.", sumSnap(func(a *flow.Stats) int64 { return a.StaleRunners }))
+	reg.CounterFunc("mfa_engine_tenant_drops_total",
+		"Segments refused inside shard assemblers by tenant policy (quota overrun or a tag that raced a delete).",
+		sumSnap(func(a *flow.Stats) int64 { return a.TenantDrops }))
+	reg.CounterFunc("mfa_engine_unknown_tenant_drops_total",
+		"Tagged segments shed at dispatch because their tenant was not published.",
+		func() float64 { return float64(e.tenantUnknown.Load()) })
 
 	// Hot-reload state (reload.go). The per-generation live-flow gauges
 	// (mfa_generation_live_flows) are registered as generations are

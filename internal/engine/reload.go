@@ -89,6 +89,11 @@ type generation struct {
 	id        uint64
 	newRunner func() flow.Runner
 	live      *telemetry.Gauge // per-generation live-flow gauge; may be nil
+	// acct is the owning tenant's accounting block, handed to
+	// flow.SetTenantGeneration so shards enforce that tenant's quotas;
+	// nil for the default (tenant-0) rule set, which is unquota'd here
+	// (the engine-wide governor covers it).
+	acct *flow.TenantAcct
 }
 
 // flowGen is the generation in the shape flow.SetGeneration consumes.

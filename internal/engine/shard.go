@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +65,13 @@ type shard struct {
 	// a quiet queue.
 	genCmd atomic.Pointer[genCommand]
 	wake   chan struct{}
+
+	// Tenant-command plumbing (tenant.go): unlike the newest-wins reload
+	// slot, commands for different tenants must all arrive, so they queue
+	// in a list; tenantPending keeps the hot path to one atomic load.
+	tenantMu      sync.Mutex
+	tenantCmds    []tenantCmd
+	tenantPending atomic.Bool
 
 	// matches is updated on every confirmed match; snap mirrors the
 	// assembler's counters every statsEvery segments and at exit, so
@@ -134,6 +142,7 @@ func (s *shard) publish() {
 	st.RunnersReused += s.base.RunnersReused
 	st.FlowRestarts += s.base.FlowRestarts
 	st.StaleRunners += s.base.StaleRunners
+	st.TenantDrops += s.base.TenantDrops
 	s.snap.Store(&st)
 }
 
@@ -162,6 +171,7 @@ func (s *shard) run(e *Engine) {
 			// reload's gauges and reset policy take effect promptly
 			// engine-wide.
 			s.applyGeneration(e)
+			s.applyTenantCmds()
 			continue
 		}
 		if !ok {
@@ -178,6 +188,9 @@ func (s *shard) run(e *Engine) {
 		// it creates starts on the new generation).
 		if s.genCmd.Load() != nil {
 			s.applyGeneration(e)
+		}
+		if s.tenantPending.Load() {
+			s.applyTenantCmds()
 		}
 		n++
 		if n%statsEvery == 0 {
@@ -356,4 +369,5 @@ func (s *shard) addBase(st flow.Stats) {
 	s.base.RunnersReused += st.RunnersReused
 	s.base.FlowRestarts += st.FlowRestarts
 	s.base.StaleRunners += st.StaleRunners
+	s.base.TenantDrops += st.TenantDrops
 }

@@ -60,13 +60,17 @@ type Assembler struct {
 	cfg   Config
 	flows map[pcap.FlowKey]*flowCtx
 	lru   *list.List // *flowCtx; front = most recently seen
-	// free recycles Reset runners of the *current* generation across
-	// flows. The assembler is single-threaded, so a plain bounded slice
-	// beats sync.Pool and makes generation hygiene trivial: SetGeneration
-	// empties it, so a stale runner can never serve a new-generation flow.
-	free    []Runner
-	gen     *genState            // generation new flows start on
-	gens    map[uint64]*genState // generations with live flows (plus gen)
+	// def is the default tenant (tag 0): its free list recycles Reset
+	// runners of its *current* generation across flows. The assembler is
+	// single-threaded, so a plain bounded slice beats sync.Pool and makes
+	// generation hygiene trivial: a generation swap empties the list, so
+	// a stale runner can never serve a new-generation flow.
+	def *tenantState
+	// tenants holds nonzero-tagged tenants' serving state (tenant.go);
+	// nil until SetTenantGeneration installs one, so the single-tenant
+	// path never pays for multi-tenancy.
+	tenants map[uint32]*tenantState
+	gens    map[uint64]*genState // generations with live flows (plus currents)
 	onMatch func(Match)
 	now     int64 // logical clock: segments handled so far
 	// Stats.
@@ -81,6 +85,7 @@ type Assembler struct {
 	runnersReused int64
 	flowRestarts  int64
 	staleRunners  int64
+	tenantDrops   int64
 	// Live gauge accounting (gauges.go); no-ops when Config.Gauges is nil.
 	gLive    gaugeAcct
 	gPending gaugeAcct
@@ -95,7 +100,8 @@ const maxFreeRunners = 4096
 type flowCtx struct {
 	key      pcap.FlowKey
 	runner   Runner
-	gen      *genState // generation the runner was built for
+	ten      *tenantState // tenant the flow is served under (def for tag 0)
+	gen      *genState    // generation the runner was built for
 	nextSeq  uint32
 	started  bool
 	lastSeen int64 // assembler clock at the flow's latest segment
@@ -121,8 +127,9 @@ func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Ass
 		lru:     list.New(),
 		onMatch: onMatch,
 	}
-	a.gen = &genState{gen: Generation{ID: 0, New: newRunner}}
-	a.gens = map[uint64]*genState{0: a.gen}
+	a.def = &tenantState{}
+	a.def.cur = &genState{gen: Generation{ID: 0, New: newRunner}, owner: a.def}
+	a.gens = map[uint64]*genState{0: a.def.cur}
 	if g := cfg.Gauges; g != nil {
 		a.gLive.g = g.LiveFlows
 		a.gPending.g = g.PendingSegments
@@ -156,6 +163,10 @@ type Stats struct {
 	// StaleRunners counts old-generation runners discarded instead of
 	// recycled after a SetGeneration swap.
 	StaleRunners int64
+	// TenantDrops counts segments refused by tenant policy: an unknown
+	// tenant tag, or a tenant over its flow/buffered-bytes quota (the
+	// per-tenant split lives in each tenant's TenantAcct counters).
+	TenantDrops int64
 	// Generation is the generation id new flows start on; FlowsByGen
 	// maps generation id to its live flows. FlowsByGen is nil until
 	// SetGeneration has been called (the sequential scan path never
@@ -179,9 +190,10 @@ func (a *Assembler) Stats() Stats {
 		RunnersReused: a.runnersReused,
 		FlowRestarts:  a.flowRestarts,
 		StaleRunners:  a.staleRunners,
-		Generation:    a.gen.gen.ID,
+		TenantDrops:   a.tenantDrops,
+		Generation:    a.def.cur.gen.ID,
 	}
-	if a.gen.gen.ID != 0 || len(a.gens) > 1 {
+	if a.def.cur.gen.ID != 0 || len(a.gens) > 1 {
 		st.FlowsByGen = make(map[uint64]int64, len(a.gens))
 		for id, g := range a.gens {
 			st.FlowsByGen[id] = g.flows
@@ -214,21 +226,30 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 	a.now++
 	ctx, ok := a.flows[seg.Key]
 	if !ok {
+		ts := a.tenantOf(seg.Key.Tenant)
+		if ts == nil || !a.admitFlow(ts) {
+			// Unknown tenant (e.g. a segment that raced a tenant DELETE
+			// through a shard queue) or tenant over its flow quota.
+			a.tenantDrops++
+			return
+		}
 		if a.cfg.MaxFlows > 0 && len(a.flows) >= a.cfg.MaxFlows {
 			a.evictOldest()
 		}
 		ctx = &flowCtx{
 			key:     seg.Key,
-			runner:  a.getRunner(),
-			gen:     a.gen,
+			ten:     ts,
+			runner:  a.getRunner(ts),
+			gen:     ts.cur,
 			pending: make(map[uint32][]byte),
 		}
 		ctx.elem = a.lru.PushFront(ctx)
 		a.flows[seg.Key] = ctx
 		a.flowsTotal++
-		a.gen.flows++
-		a.gen.live.add(1)
+		ts.cur.flows++
+		ts.cur.live.add(1)
 		a.gLive.add(1)
+		ts.gLive.add(1)
 	} else {
 		a.lru.MoveToFront(ctx.elem)
 	}
@@ -263,19 +284,20 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 	}
 }
 
-// getRunner takes a recycled runner from the free list or allocates a
-// fresh one from the current generation. Free-listed runners were Reset
-// when put and always belong to the current generation (SetGeneration
-// empties the list), so they are start-of-flow.
-func (a *Assembler) getRunner() Runner {
-	if n := len(a.free); n > 0 {
-		r := a.free[n-1]
-		a.free[n-1] = nil
-		a.free = a.free[:n-1]
+// getRunner takes a recycled runner from the tenant's free list or
+// allocates a fresh one from the tenant's current generation.
+// Free-listed runners were Reset when put and always belong to that
+// tenant's current generation (a generation swap empties the list), so
+// they are start-of-flow.
+func (a *Assembler) getRunner(ts *tenantState) Runner {
+	if n := len(ts.free); n > 0 {
+		r := ts.free[n-1]
+		ts.free[n-1] = nil
+		ts.free = ts.free[:n-1]
 		a.runnersReused++
 		return r
 	}
-	return a.gen.gen.New()
+	return ts.cur.gen.New()
 }
 
 // removeFlow forgets a flow and recycles its runner — unless the runner
@@ -287,10 +309,10 @@ func (a *Assembler) removeFlow(ctx *flowCtx) {
 	a.releaseFlowGauges(ctx)
 	ctx.gen.flows--
 	ctx.gen.live.add(-1)
-	if ctx.gen == a.gen {
-		if len(a.free) < maxFreeRunners {
+	if ctx.gen == ctx.ten.cur {
+		if len(ctx.ten.free) < maxFreeRunners {
 			ctx.runner.Reset()
-			a.free = append(a.free, ctx.runner)
+			ctx.ten.free = append(ctx.ten.free, ctx.runner)
 		}
 	} else {
 		a.staleRunners++
@@ -309,25 +331,28 @@ func (a *Assembler) restartFlow(ctx *flowCtx) {
 	if len(ctx.pending) > 0 {
 		a.gPending.add(-int64(len(ctx.pending)))
 		a.gBytes.add(-ctx.pendingBytes)
+		ctx.ten.gBytes.add(-ctx.pendingBytes)
 		ctx.pending = make(map[uint32][]byte)
 		ctx.order = ctx.order[:0]
 		ctx.pendingBytes = 0
 	}
-	if ctx.gen == a.gen {
+	if ctx.gen == ctx.ten.cur {
 		ctx.runner.Reset()
 		return
 	}
 	a.staleRunners++
-	a.moveFlowGen(ctx, a.gen)
-	ctx.runner = a.getRunner()
+	a.moveFlowGen(ctx, ctx.ten.cur)
+	ctx.runner = a.getRunner(ctx.ten)
 }
 
 // releaseFlowGauges withdraws one flow's gauge contribution as it leaves
 // the table.
 func (a *Assembler) releaseFlowGauges(ctx *flowCtx) {
 	a.gLive.add(-1)
+	ctx.ten.gLive.add(-1)
 	a.gPending.add(-int64(len(ctx.pending)))
 	a.gBytes.add(-ctx.pendingBytes)
+	ctx.ten.gBytes.add(-ctx.pendingBytes)
 	ctx.pendingBytes = 0
 }
 
@@ -387,6 +412,7 @@ func (a *Assembler) removePending(ctx *flowCtx, seq uint32) {
 	ctx.pendingBytes -= n
 	a.gPending.add(-1)
 	a.gBytes.add(-n)
+	ctx.ten.gBytes.add(-n)
 }
 
 // MaxBuffered reports the current per-flow out-of-order buffer cap.
@@ -436,6 +462,17 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 	case seqAfter(seq, ctx.nextSeq):
 		// Future segment: buffer until the gap fills.
 		a.outOfOrder++
+		if acct := ctx.ten.acct; acct != nil {
+			if max := acct.MaxBufferedBytes.Load(); max > 0 &&
+				acct.BufferedBytes != nil && acct.BufferedBytes.Value()+int64(len(payload)) > max {
+				// Tenant over its buffered-bytes quota: shed this
+				// segment rather than grow the tenant's reassembly
+				// footprint. Other tenants buffer unaffected.
+				acct.countByteDrop()
+				a.tenantDrops++
+				return
+			}
+		}
 		if len(ctx.pending) >= a.cfg.MaxBufferedSegments {
 			oldest := ctx.order[0]
 			ctx.order = ctx.order[1:]
@@ -450,6 +487,7 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 			ctx.pendingBytes += int64(len(buf))
 			a.gPending.add(1)
 			a.gBytes.add(int64(len(buf)))
+			ctx.ten.gBytes.add(int64(len(buf)))
 		}
 		return
 	default:

@@ -65,4 +65,8 @@ func (a *Assembler) ReleaseGauges() {
 	for _, g := range a.gens {
 		g.live.release()
 	}
+	for _, ts := range a.tenants {
+		ts.gLive.release()
+		ts.gBytes.release()
+	}
 }

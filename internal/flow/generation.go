@@ -38,48 +38,60 @@ type Generation struct {
 // genState is one generation's per-assembler bookkeeping.
 type genState struct {
 	gen   Generation
-	flows int64     // live flows of this generation in this assembler
-	live  gaugeAcct // this assembler's contribution to gen.Live
+	owner *tenantState // tenant whose flows this generation serves
+	flows int64        // live flows of this generation in this assembler
+	live  gaugeAcct    // this assembler's contribution to gen.Live
 }
 
-// SetGeneration switches the assembler to pattern generation g: flows
-// created from now on use g.New, and the recycled-runner free list is
-// emptied so no previous-generation runner can serve a new flow. When
-// resetExisting is true every live flow's matching state restarts on g
-// immediately (TCP reassembly state — nextSeq and buffered out-of-order
-// segments — is preserved; only the matcher context restarts); when
-// false, live flows drain on the generation they started with. Applying
-// the current generation again is a no-op. Returns the number of live
-// flows moved onto g.
+// SetGeneration switches the default tenant to pattern generation g:
+// flows created from now on use g.New, and the recycled-runner free
+// list is emptied so no previous-generation runner can serve a new
+// flow. When resetExisting is true every live flow's matching state
+// restarts on g immediately (TCP reassembly state — nextSeq and
+// buffered out-of-order segments — is preserved; only the matcher
+// context restarts); when false, live flows drain on the generation
+// they started with. Applying the current generation again is a no-op.
+// Returns the number of live flows moved onto g. For nonzero tenants
+// see SetTenantGeneration (tenant.go).
 func (a *Assembler) SetGeneration(g Generation, resetExisting bool) int {
-	if g.ID == a.gen.gen.ID {
+	return a.setTenantGen(a.def, g, resetExisting)
+}
+
+// setTenantGen is the tenant-scoped generation swap behind both
+// SetGeneration and SetTenantGeneration: only ts's free list is
+// emptied and only ts's flows are reset — every other tenant serves on
+// undisturbed.
+func (a *Assembler) setTenantGen(ts *tenantState, g Generation, resetExisting bool) int {
+	if ts.cur != nil && g.ID == ts.cur.gen.ID {
 		return 0
 	}
-	for i := range a.free {
-		a.free[i] = nil
+	for i := range ts.free {
+		ts.free[i] = nil
 	}
-	a.free = a.free[:0]
-	old := a.gen
+	ts.free = ts.free[:0]
+	old := ts.cur
 	ngen, ok := a.gens[g.ID]
 	if !ok {
-		ngen = &genState{gen: g}
+		ngen = &genState{gen: g, owner: ts}
 		ngen.live.g = g.Live
 		a.gens[g.ID] = ngen
 	}
-	a.gen = ngen
+	ts.cur = ngen
 	moved := 0
 	if resetExisting {
 		for _, ctx := range a.flows {
-			if ctx.gen == ngen {
+			if ctx.ten != ts || ctx.gen == ngen {
 				continue
 			}
 			a.staleRunners++
 			a.moveFlowGen(ctx, ngen)
-			ctx.runner = a.getRunner()
+			ctx.runner = a.getRunner(ts)
 			moved++
 		}
 	}
-	a.pruneGen(old)
+	if old != nil {
+		a.pruneGen(old)
+	}
 	return moved
 }
 
@@ -98,9 +110,11 @@ func (a *Assembler) moveFlowGen(ctx *flowCtx, to *genState) {
 
 // pruneGen forgets a superseded generation once its last flow is gone,
 // so a long-lived assembler's generation table stays O(generations with
-// live flows), not O(reloads ever).
+// live flows), not O(reloads ever). A generation is superseded when it
+// is no longer its owning tenant's current one (a dropped tenant's
+// generations have no current and always prune).
 func (a *Assembler) pruneGen(g *genState) {
-	if g != a.gen && g.flows == 0 {
+	if g.flows == 0 && (g.owner == nil || g.owner.cur != g) {
 		delete(a.gens, g.gen.ID)
 	}
 }

@@ -1,0 +1,167 @@
+// Per-tenant serving state.
+//
+// Multi-tenant serving (internal/tenant) generalizes generations from
+// "one current pattern set" to one current pattern set *per tenant*:
+// every flow key carries a tenant tag (pcap.FlowKey.Tenant, 0 for the
+// default rule set), and the assembler keeps an independent current
+// generation and recycled-runner free list for each tenant it serves.
+// The free lists must be separate — runners compiled for one tenant's
+// automaton can never serve another tenant's flow — and the per-tenant
+// quota accounting lives here because the assembler is the only layer
+// that knows exactly when a flow is created or a byte is buffered.
+//
+// An assembler that only ever sees tenant-0 traffic allocates none of
+// this: the tenants map stays nil and the default tenant's accounting
+// hooks are no-op gauges.
+
+package flow
+
+import (
+	"sync/atomic"
+
+	"matchfilter/internal/telemetry"
+)
+
+// TenantAcct is one tenant's cross-shard accounting and quota block.
+// One instance is shared by every assembler serving the tenant (the
+// gauges are atomics, adds compose), so quotas are enforced against the
+// tenant's *global* occupancy, not per shard. All pointer fields may be
+// nil; quota fields read zero mean "unlimited".
+type TenantAcct struct {
+	// LiveFlows counts the tenant's live flows across all assemblers.
+	LiveFlows *telemetry.Gauge
+	// BufferedBytes counts the tenant's out-of-order payload bytes held
+	// in reassembly buffers across all assemblers.
+	BufferedBytes *telemetry.Gauge
+	// MaxFlows, when > 0, caps LiveFlows: segments that would create a
+	// flow beyond the cap are dropped and counted in FlowQuotaDrops.
+	MaxFlows atomic.Int64
+	// MaxBufferedBytes, when > 0, caps BufferedBytes: out-of-order
+	// segments that would buffer beyond the cap are dropped and counted
+	// in ByteQuotaDrops. In-order traffic is never buffered and so never
+	// hits this quota.
+	MaxBufferedBytes atomic.Int64
+	// FlowQuotaDrops / ByteQuotaDrops count segments refused by the two
+	// quotas, attributed to this tenant.
+	FlowQuotaDrops *telemetry.Counter
+	ByteQuotaDrops *telemetry.Counter
+}
+
+func (t *TenantAcct) countFlowDrop() {
+	if t.FlowQuotaDrops != nil {
+		t.FlowQuotaDrops.Inc()
+	}
+}
+
+func (t *TenantAcct) countByteDrop() {
+	if t.ByteQuotaDrops != nil {
+		t.ByteQuotaDrops.Inc()
+	}
+}
+
+// tenantState is one tenant's per-assembler serving state: the
+// generation its new flows start on, its private recycled-runner free
+// list, and this assembler's contribution to the shared accounting.
+type tenantState struct {
+	id   uint32
+	cur  *genState // generation new flows start on; nil once dropped
+	free []Runner  // recycled runners of cur — never cross-tenant
+	acct *TenantAcct
+	// Contribution tracking against acct's shared gauges (nil-safe
+	// no-ops for the default tenant, which has no acct).
+	gLive  gaugeAcct
+	gBytes gaugeAcct
+}
+
+// tenantOf resolves a segment's tenant tag to serving state. Tag 0 is
+// always the default tenant; a nonzero tag is known only after
+// SetTenantGeneration installed the tenant (internal/engine delivers
+// that command to every shard before it admits the tenant's traffic).
+// nil means "unknown tenant": the caller drops the segment.
+func (a *Assembler) tenantOf(id uint32) *tenantState {
+	if id == 0 {
+		return a.def
+	}
+	return a.tenants[id]
+}
+
+// admitFlow enforces the tenant's flow quota at flow creation.
+func (a *Assembler) admitFlow(ts *tenantState) bool {
+	acct := ts.acct
+	if acct == nil {
+		return true
+	}
+	if max := acct.MaxFlows.Load(); max > 0 && acct.LiveFlows != nil && acct.LiveFlows.Value() >= max {
+		acct.countFlowDrop()
+		return false
+	}
+	return true
+}
+
+// SetTenantGeneration installs pattern generation g as tenant ten's
+// current generation, creating the tenant's serving state on first use
+// (acct, which may be nil, is bound then and shared for the tenant's
+// lifetime). Semantics per tenant match SetGeneration exactly: the
+// tenant's free list is emptied, resetExisting restarts only *this
+// tenant's* live flows on g, other tenants are untouched. Generation
+// IDs must be unique across tenants (internal/engine packs the tenant
+// index into the high 32 bits). Returns the number of flows moved.
+func (a *Assembler) SetTenantGeneration(ten uint32, g Generation, acct *TenantAcct, resetExisting bool) int {
+	if ten == 0 {
+		return a.setTenantGen(a.def, g, resetExisting)
+	}
+	ts := a.tenants[ten]
+	if ts == nil {
+		ts = &tenantState{id: ten, acct: acct}
+		if acct != nil {
+			ts.gLive.g = acct.LiveFlows
+			ts.gBytes.g = acct.BufferedBytes
+		}
+		if a.tenants == nil {
+			a.tenants = make(map[uint32]*tenantState)
+		}
+		a.tenants[ten] = ts
+	}
+	return a.setTenantGen(ts, g, resetExisting)
+}
+
+// DropTenant removes tenant ten entirely: every one of its live flows
+// is torn down (runners discarded, never recycled — they belong to a
+// dead automaton), its free list is emptied, and its serving state is
+// forgotten, so subsequent segments carrying the tag are dropped as
+// unknown-tenant. Returns the number of flows removed. Dropping the
+// default tenant (0) or an unknown tenant is a no-op.
+func (a *Assembler) DropTenant(ten uint32) int {
+	if ten == 0 {
+		return 0
+	}
+	ts := a.tenants[ten]
+	if ts == nil {
+		return 0
+	}
+	n := 0
+	for _, ctx := range a.flows {
+		if ctx.ten != ts {
+			continue
+		}
+		delete(a.flows, ctx.key)
+		a.lru.Remove(ctx.elem)
+		a.releaseFlowGauges(ctx)
+		ctx.gen.flows--
+		ctx.gen.live.add(-1)
+		ctx.runner = nil
+		n++
+	}
+	for i := range ts.free {
+		ts.free[i] = nil
+	}
+	ts.free = nil
+	ts.cur = nil
+	for id, g := range a.gens {
+		if g.owner == ts && g.flows == 0 {
+			delete(a.gens, id)
+		}
+	}
+	delete(a.tenants, ten)
+	return n
+}

@@ -196,12 +196,24 @@ func pumpStreamConn(ctx context.Context, em *Emitter, conn net.Conn, key pcap.Fl
 // as one flow: every datagram is one in-order segment, sequence numbers
 // advance by payload length, and flows end by engine idle eviction
 // (datagrams have no FIN).
+//
+// Delivery accounting: UDP gives the daemon no loss signal by itself,
+// so two optional mechanisms fill in. With Seq enabled ("udp:addr?seq")
+// the sender prefixes every datagram with a 4-byte big-endian per-peer
+// sequence number; the listener strips it, counts skipped-over numbers
+// as gaps and late arrivals as reorders (a gap that later arrives is
+// counted in both, keeping each counter monotonic — gaps minus reorders
+// approximates true loss). Independently, on Linux the socket opts into
+// SO_RXQ_OVFL and accounts datagrams the kernel shed before userspace
+// saw them. Both feed /statsz and the per-source mfa_input_* series.
 type UDPListener struct {
 	Addr string
 	// MaxPeers bounds the peer→flow table; when full, the oldest half
 	// is forgotten (their flows idle out in the engine; a returning
 	// peer restarts as a fresh flow via SYN). 0 means 16384.
 	MaxPeers int
+	// Seq enables the 4-byte sequence-header protocol described above.
+	Seq bool
 
 	id    uint32
 	bound atomic.Value // net.Addr once bound (tests bind port 0)
@@ -220,13 +232,22 @@ func NewUDPListener(addr string) *UDPListener {
 
 // Describe implements Source.
 func (u *UDPListener) Describe() Description {
-	return Description{Name: "udp:" + u.Addr, Kind: "udp", Detail: u.Addr, Finite: false}
+	detail := u.Addr
+	if u.Seq {
+		detail += "?seq"
+	}
+	return Description{Name: "udp:" + detail, Kind: "udp", Detail: detail, Finite: false}
 }
 
 // udpPeer is one remote address's flow state.
 type udpPeer struct {
 	fr   *framer
 	tick uint64 // last-seen stamp for eviction
+	// Seq-mode delivery tracking: next is the sequence number expected
+	// from this peer; meaningful once haveSeq (the first datagram seeds
+	// it, so a mid-stream join is not misread as a giant gap).
+	next    uint32
+	haveSeq bool
 }
 
 // Run implements Source.
@@ -245,18 +266,36 @@ func (u *UDPListener) Run(ctx context.Context, em *Emitter) error {
 	defer pc.Close()
 
 	localPort := localPortOf(pc.LocalAddr())
+	var oob []byte
+	if enableKernelDropCount(pc) {
+		oob = make([]byte, 64)
+	}
+	var lastKernelDrops uint32
+	var haveBaseline bool
 	peers := make(map[string]*udpPeer)
 	var conns uint32
 	var tick uint64
 	for {
 		lease := em.Lease(64 << 10) // max datagram
-		n, addr, err := pc.ReadFrom(lease.Data())
+		n, addr, kdrops, haveKD, err := readUDP(pc, lease.Data(), oob)
 		if err != nil {
 			lease.Release()
 			if ctx.Err() != nil {
 				return nil
 			}
 			return fmt.Errorf("input: udp read %s: %w", u.Addr, err)
+		}
+		if haveKD {
+			// SO_RXQ_OVFL reports the socket's cumulative drop count;
+			// credit the delta (wrap-safe uint32 subtraction). The first
+			// observation seeds the baseline — drops before this Run
+			// started belong to no one.
+			if haveBaseline {
+				if d := kdrops - lastKernelDrops; d != 0 {
+					em.CountKernelDrops(int64(d))
+				}
+			}
+			lastKernelDrops, haveBaseline = kdrops, true
 		}
 		tick++
 		pk := addr.String()
@@ -274,15 +313,43 @@ func (u *UDPListener) Run(ctx context.Context, em *Emitter) error {
 			}
 		}
 		peer.tick = tick
-		if n == 0 {
+		payload := lease.Data()[:n]
+		if u.Seq {
+			if n < 4 {
+				lease.Release()
+				if err := em.Malformed(fmt.Errorf("input: udp %s: seq-mode datagram shorter than its 4-byte header (%d bytes)", u.Addr, n)); err != nil {
+					return err
+				}
+				continue
+			}
+			seq := uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])
+			payload = payload[4:]
+			switch {
+			case !peer.haveSeq:
+				peer.haveSeq = true
+				peer.next = seq + 1
+			case seq == peer.next:
+				peer.next++
+			case seqAfter(seq, peer.next):
+				em.CountGaps(int64(seq - peer.next))
+				peer.next = seq + 1
+			default:
+				em.CountReorders(1)
+			}
+		}
+		if len(payload) == 0 {
 			lease.Release()
 			continue
 		}
-		if em.Segment(peer.fr.data(lease.Data()[:n]), lease) != nil {
+		if em.Segment(peer.fr.data(payload), lease) != nil {
 			return nil
 		}
 	}
 }
+
+// seqAfter reports whether a is ahead of b in wrapping uint32 sequence
+// space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
 
 // evictOldestPeers forgets the n least-recently-seen peers: one pass to
 // collect last-seen stamps, a sort to find the age cutoff, one pass to

@@ -1,0 +1,70 @@
+//go:build linux
+
+// Linux kernel-drop visibility for UDP sources: SO_RXQ_OVFL attaches
+// the socket's cumulative receive-queue drop counter as ancillary data
+// to every datagram, so the listener can account packets the kernel
+// shed before userspace ever saw them — the drops a pure read loop is
+// structurally blind to.
+
+package input
+
+import (
+	"encoding/binary"
+	"net"
+	"syscall"
+)
+
+// soRXQOvfl is SO_RXQ_OVFL; spelled numerically because older syscall
+// packages lack the constant.
+const soRXQOvfl = 40
+
+// enableKernelDropCount turns SO_RXQ_OVFL on; false when the socket
+// type or kernel does not support it (the caller just loses the drop
+// counter, never datagrams).
+func enableKernelDropCount(pc net.PacketConn) bool {
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		return false
+	}
+	sc, err := uc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	enabled := false
+	_ = sc.Control(func(fd uintptr) {
+		enabled = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soRXQOvfl, 1) == nil
+	})
+	return enabled
+}
+
+// readUDP reads one datagram and, when SO_RXQ_OVFL is active, the
+// kernel's cumulative drop counter for the socket (haveDrops reports
+// whether drops is meaningful for this datagram).
+func readUDP(pc net.PacketConn, buf, oob []byte) (n int, addr net.Addr, drops uint32, haveDrops bool, err error) {
+	uc, ok := pc.(*net.UDPConn)
+	if !ok || len(oob) == 0 {
+		n, addr, err = pc.ReadFrom(buf)
+		return
+	}
+	var oobn int
+	var uaddr *net.UDPAddr
+	n, oobn, _, uaddr, err = uc.ReadMsgUDP(buf, oob)
+	if uaddr != nil {
+		addr = uaddr
+	}
+	if err != nil || oobn == 0 {
+		return
+	}
+	msgs, perr := syscall.ParseSocketControlMessage(oob[:oobn])
+	if perr != nil {
+		return
+	}
+	for _, m := range msgs {
+		if m.Header.Level == syscall.SOL_SOCKET && m.Header.Type == soRXQOvfl && len(m.Data) >= 4 {
+			drops = binary.NativeEndian.Uint32(m.Data)
+			haveDrops = true
+			return
+		}
+	}
+	return
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+// Non-Linux stubs: kernel-drop accounting is a SO_RXQ_OVFL feature;
+// elsewhere the UDP listener reads normally and the drop counter stays
+// zero.
+
+package input
+
+import "net"
+
+func enableKernelDropCount(net.PacketConn) bool { return false }
+
+func readUDP(pc net.PacketConn, buf, _ []byte) (n int, addr net.Addr, drops uint32, haveDrops bool, err error) {
+	n, addr, err = pc.ReadFrom(buf)
+	return
+}

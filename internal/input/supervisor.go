@@ -66,6 +66,12 @@ type Config struct {
 	// Arena overrides the buffer arena; nil allocates a private one.
 	// Share one arena across supervisors to share the buffer pool.
 	Arena *Arena
+	// Tagger, when non-nil, classifies untagged flows to a tenant index
+	// at ingest (tenant.Registry.Tag is the intended implementation). It
+	// runs once per emitted segment on keys whose Tenant is still 0 — a
+	// per-source binding (SourceOptions.Tenant) wins over it. Must be
+	// safe for concurrent use and lock-free cheap.
+	Tagger func(pcap.FlowKey) uint32
 	// Logf receives supervision events (restarts, abandonments); nil
 	// logs to stderr.
 	Logf func(format string, args ...any)
@@ -148,11 +154,26 @@ func (s SourceState) String() string {
 	}
 }
 
+// SourceOptions carries per-source ingest policy, set at registration.
+type SourceOptions struct {
+	// Tenant tags every segment this source emits with a tenant index
+	// (tenant.Registry indexes; 0 means untagged — the default rule
+	// set, or fall through to Config.Tagger). Use it when a source
+	// carries exactly one tenant's traffic.
+	Tenant uint32
+	// RateBytesPerSec paces the source's payload bytes through a token
+	// bucket (ratelimit.go); 0 means unpaced. Meant for capture replay
+	// ('pcap:file.pcap?rate=100M').
+	RateBytesPerSec int64
+}
+
 // sourceState is the supervisor's per-source record.
 type sourceState struct {
 	id   int
 	src  Source
 	desc Description
+	opts SourceOptions
+	rl   *rateLimiter // non-nil iff opts.RateBytesPerSec > 0
 	ch   chan queuedSeg
 	// br is the circuit breaker; nil for finite sources, which keep the
 	// abandon-after-budget policy (probing a consumed file forever
@@ -165,6 +186,13 @@ type sourceState struct {
 	malformed atomic.Int64 // parse failures counted (lenient mode)
 	restarts  atomic.Int64
 	state     atomic.Int32
+	// Datagram delivery accounting, maintained by sources that can see
+	// sequencing (udp:addr?seq) or kernel drops (SO_RXQ_OVFL): gaps are
+	// datagrams the sender numbered but we never saw; reorders are
+	// datagrams that arrived behind a higher number.
+	gaps        atomic.Int64
+	reorders    atomic.Int64
+	kernelDrops atomic.Int64
 
 	errMu   sync.Mutex
 	lastErr string
@@ -231,9 +259,14 @@ func NewSupervisor(cfg Config) *Supervisor {
 // Arena returns the buffer arena sources lease from.
 func (s *Supervisor) Arena() *Arena { return s.cfg.Arena }
 
-// Add registers a source. It must be called before Run. Name collisions
-// are resolved by suffixing an ordinal, so telemetry labels stay unique.
-func (s *Supervisor) Add(src Source) {
+// Add registers a source with default options. It must be called before
+// Run. Name collisions are resolved by suffixing an ordinal, so
+// telemetry labels stay unique.
+func (s *Supervisor) Add(src Source) { s.AddOptions(src, SourceOptions{}) }
+
+// AddOptions registers a source with per-source ingest policy (tenant
+// binding, replay rate limit).
+func (s *Supervisor) AddOptions(src Source, opts SourceOptions) {
 	if s.started.Load() {
 		panic("input: Add after Run")
 	}
@@ -251,7 +284,11 @@ func (s *Supervisor) Add(src Source) {
 		id:   len(s.sources),
 		src:  src,
 		desc: desc,
+		opts: opts,
 		ch:   make(chan queuedSeg, s.cfg.QueueDepth),
+	}
+	if opts.RateBytesPerSec > 0 {
+		st.rl = newRateLimiter(opts.RateBytesPerSec)
 	}
 	if !desc.Finite {
 		st.br = guard.NewBreaker(guard.BreakerConfig{
@@ -279,6 +316,23 @@ func (s *Supervisor) Add(src Source) {
 		reg.CounterFunc("mfa_input_restarts_total",
 			"Times this source was restarted after a transient failure.",
 			func() float64 { return float64(st.restarts.Load()) }, label)
+		reg.CounterFunc("mfa_input_gaps_total",
+			"Sender-numbered datagrams this source never received (udp ?seq mode).",
+			func() float64 { return float64(st.gaps.Load()) }, label)
+		reg.CounterFunc("mfa_input_reorders_total",
+			"Datagrams this source received behind a higher sequence number (udp ?seq mode).",
+			func() float64 { return float64(st.reorders.Load()) }, label)
+		reg.CounterFunc("mfa_input_kernel_drops_total",
+			"Datagrams the kernel dropped on this source's socket buffer (SO_RXQ_OVFL; Linux only).",
+			func() float64 { return float64(st.kernelDrops.Load()) }, label)
+		if st.rl != nil {
+			reg.GaugeFunc("mfa_input_rate_bytes_per_sec",
+				"Configured replay rate limit for this source.",
+				func() float64 { return float64(st.opts.RateBytesPerSec) }, label)
+			reg.CounterFunc("mfa_input_rate_paused_seconds_total",
+				"Cumulative time this source slept in its replay rate limiter.",
+				func() float64 { return st.rl.paused().Seconds() }, label)
+		}
 		reg.GaugeFunc("mfa_input_queue_depth",
 			"Segments waiting in this source's handoff queue right now.",
 			func() float64 { return float64(len(st.ch)) }, label)
@@ -500,6 +554,15 @@ type SourceStats struct {
 	Restarts      int64
 	QueueDepth    int
 	QueueCap      int
+	// Datagram delivery accounting; nonzero only for sources that can
+	// observe it (udp ?seq mode, SO_RXQ_OVFL).
+	Gaps        int64 `json:",omitempty"`
+	Reorders    int64 `json:",omitempty"`
+	KernelDrops int64 `json:",omitempty"`
+	// Tenant is the per-source tenant binding (index); 0 when unbound.
+	Tenant uint32 `json:",omitempty"`
+	// RateBytesPerSec is the configured replay pace; 0 when unpaced.
+	RateBytesPerSec int64 `json:",omitempty"`
 	// Breaker is the circuit state ("closed"/"open"/"half-open") for
 	// infinite sources; empty for finite sources, which have none.
 	Breaker      string `json:",omitempty"`
@@ -523,8 +586,13 @@ func (s *Supervisor) Stats() []SourceStats {
 			Restarts:      st.restarts.Load(),
 			QueueDepth:    len(st.ch),
 			QueueCap:      cap(st.ch),
+			Gaps:          st.gaps.Load(),
+			Reorders:      st.reorders.Load(),
+			KernelDrops:   st.kernelDrops.Load(),
+			Tenant:        st.opts.Tenant,
 			LastError:     st.lastError(),
 		}
+		out[i].RateBytesPerSec = st.opts.RateBytesPerSec
 		if st.br != nil {
 			out[i].Breaker = st.br.State().String()
 			out[i].BreakerOpens = st.br.Opens()
@@ -590,7 +658,25 @@ func (em *Emitter) Lease(n int) *Buf {
 // queue is full — that is the per-source backpressure — and returns a
 // non-nil error only when the pipeline is stopping; the source should
 // return that error from Run.
+//
+// Ingest policy is applied here, once, for every source kind: the
+// segment is tenant-tagged (per-source binding first, then the
+// classifier callback) and paced through the source's replay rate
+// limiter when one is configured.
 func (em *Emitter) Segment(seg pcap.Segment, owner pcap.Owner) error {
+	if seg.Key.Tenant == 0 {
+		if t := em.st.opts.Tenant; t != 0 {
+			seg.Key.Tenant = t
+		} else if tag := em.sup.cfg.Tagger; tag != nil {
+			seg.Key.Tenant = tag(seg.Key)
+		}
+	}
+	if em.st.rl != nil && len(seg.Payload) > 0 {
+		if err := em.st.rl.wait(em.ctx, len(seg.Payload)); err != nil {
+			release(owner)
+			return err
+		}
+	}
 	select {
 	case em.st.ch <- queuedSeg{seg: seg, owner: owner}:
 		return nil
@@ -634,3 +720,17 @@ func (em *Emitter) Malformed(err error) error {
 // whose skip behavior differs structurally (a spool marking a file dead
 // vs. aborting).
 func (em *Emitter) Strict() bool { return em.sup.cfg.Strict }
+
+// CountGaps credits sender-numbered datagrams that never arrived (udp
+// ?seq mode). A gap that later turns out to be a reorder is also
+// counted by CountReorders, so gaps-reorders approximates true loss
+// while both counters stay monotonic.
+func (em *Emitter) CountGaps(n int64) { em.st.gaps.Add(n) }
+
+// CountReorders credits datagrams that arrived behind a higher sequence
+// number.
+func (em *Emitter) CountReorders(n int64) { em.st.reorders.Add(n) }
+
+// CountKernelDrops credits datagrams the kernel reports dropped on the
+// source's socket buffer (SO_RXQ_OVFL).
+func (em *Emitter) CountKernelDrops(n int64) { em.st.kernelDrops.Add(n) }

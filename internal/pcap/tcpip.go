@@ -8,12 +8,21 @@ import (
 )
 
 // FlowKey identifies one TCP direction: the classic 5-tuple with the
-// protocol fixed to TCP.
+// protocol fixed to TCP, plus the tenant demux tag. Flow identity is
+// (Tenant, 4-tuple): two tenants replaying overlapping address space can
+// never collide in a flow table, and every segment of a flow carries the
+// same tag so flow affinity holds per tenant.
 type FlowKey struct {
 	SrcIP   uint32
 	DstIP   uint32
 	SrcPort uint16
 	DstPort uint16
+	// Tenant is the rule-set tenant this flow is served under: 0 is the
+	// default (untenanted) rule set, nonzero indexes internal/tenant's
+	// registry. DecodeTCP always leaves it 0 — the tag is assigned at
+	// ingest (per-source binding or IP-range classification), never read
+	// off the wire.
+	Tenant uint32
 }
 
 // String renders "src:port->dst:port". It runs on the per-match path

@@ -57,6 +57,11 @@ type Admin struct {
 	// rejected and the running set is untouched (the endpoint answers
 	// 500 with the reason).
 	Reload func() (generation uint64, err error)
+	// Tenants, when non-nil, serves the tenant CRUD surface under
+	// /tenants (tenant.Registry.AdminHandler builds one). It is the only
+	// other mutating surface besides /reload; PUT /tenants/<id>/rules
+	// follows /reload's rejection semantics.
+	Tenants http.Handler
 }
 
 // Handler builds the admin mux.
@@ -132,6 +137,10 @@ func (a *Admin) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"generation\":%d}\n", gen)
 	})
+	if a.Tenants != nil {
+		mux.Handle("/tenants", a.Tenants)
+		mux.Handle("/tenants/", a.Tenants)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -143,7 +152,7 @@ func (a *Admin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "mfa admin\n/metrics\n/statsz\n/healthz\n/events\n/reload (POST)\n/debug/pprof/\n")
+		fmt.Fprint(w, "mfa admin\n/metrics\n/statsz\n/healthz\n/events\n/reload (POST)\n/tenants\n/debug/pprof/\n")
 	})
 	return mux
 }

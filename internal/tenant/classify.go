@@ -1,0 +1,123 @@
+// IP-range tenant classification.
+//
+// Sources that carry one tenant's traffic exclusively are bound with a
+// per-source tag (input.SourceOptions.Tenant) — no classification
+// needed. Mixed sources (a mirror port, a shared capture) tag per flow
+// instead: the operator declares CIDR → tenant rules, and the ingest
+// path asks Tag for every decoded segment's key. The resolved table is
+// an atomic snapshot rebuilt on every registry mutation, so the hot
+// path is a lock-free linear scan over a handful of masked compares —
+// first match wins, in declaration order.
+
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"matchfilter/internal/pcap"
+)
+
+// CIDRRule maps one IPv4 range to a tenant id.
+type CIDRRule struct {
+	IP   uint32 // network address, host byte order
+	Bits int    // prefix length 0..32
+	ID   string // tenant id (resolved when the tenant exists)
+}
+
+// ParseCIDRRule parses "10.1.0.0/16=acme".
+func ParseCIDRRule(spec string) (CIDRRule, error) {
+	cidr, id, ok := strings.Cut(spec, "=")
+	if !ok || id == "" {
+		return CIDRRule{}, fmt.Errorf("tenant: cidr rule %q: want CIDR=tenant", spec)
+	}
+	if err := ValidateID(id); err != nil {
+		return CIDRRule{}, err
+	}
+	prefix, bitsStr, ok := strings.Cut(cidr, "/")
+	if !ok {
+		return CIDRRule{}, fmt.Errorf("tenant: cidr rule %q: missing /bits", spec)
+	}
+	bits, err := strconv.Atoi(bitsStr)
+	if err != nil || bits < 0 || bits > 32 {
+		return CIDRRule{}, fmt.Errorf("tenant: cidr rule %q: bad prefix length", spec)
+	}
+	ip, err := parseIPv4(prefix)
+	if err != nil {
+		return CIDRRule{}, fmt.Errorf("tenant: cidr rule %q: %v", spec, err)
+	}
+	return CIDRRule{IP: ip & maskOf(bits), Bits: bits, ID: id}, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	var ip uint32
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("bad IPv4 %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return ip, nil
+}
+
+func maskOf(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// tagEntry is one resolved classifier rule on the hot path.
+type tagEntry struct {
+	ip, mask uint32
+	idx      uint32
+}
+
+// SetCIDRs replaces the classifier rule list. Rules naming tenants that
+// do not exist yet stay latent and resolve when the tenant is Put.
+func (r *Registry) SetCIDRs(rules []CIDRRule) {
+	r.mu.Lock()
+	r.cidrs = append([]CIDRRule(nil), rules...)
+	r.retagLocked()
+	r.mu.Unlock()
+}
+
+// retagLocked rebuilds the resolved classifier snapshot from the rule
+// list and the current tenant set.
+func (r *Registry) retagLocked() {
+	if len(r.cidrs) == 0 {
+		r.tags.Store(nil)
+		return
+	}
+	entries := make([]tagEntry, 0, len(r.cidrs))
+	for _, c := range r.cidrs {
+		t := r.byID[c.ID]
+		if t == nil {
+			continue
+		}
+		entries = append(entries, tagEntry{ip: c.IP, mask: maskOf(c.Bits), idx: t.idx})
+	}
+	r.tags.Store(&entries)
+}
+
+// Tag classifies a flow key to a tenant index by source address, then
+// destination address; 0 (the default rule set) when no rule matches.
+// Lock-free; safe on the per-segment ingest path.
+func (r *Registry) Tag(k pcap.FlowKey) uint32 {
+	tbl := r.tags.Load()
+	if tbl == nil {
+		return 0
+	}
+	for _, e := range *tbl {
+		if k.SrcIP&e.mask == e.ip || k.DstIP&e.mask == e.ip {
+			return e.idx
+		}
+	}
+	return 0
+}
