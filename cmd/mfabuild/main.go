@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"matchfilter/internal/core"
+	"matchfilter/internal/dfa"
 	"matchfilter/internal/patterns"
 	"matchfilter/internal/regexparse"
 )
@@ -34,6 +35,7 @@ func run() error {
 	showFilters := flag.Bool("filters", false, "dump the generated filter program")
 	showFragments := flag.Bool("fragments", false, "list the decomposed fragments")
 	maxStates := flag.Int("max-states", 0, "DFA state budget (0 = default)")
+	layout := flag.String("layout", "", "transition-table layout: flat, classed, classed2 (empty = auto; classed2 falls back to classed when its pair table would exceed the build cap)")
 	output := flag.String("o", "", "write the compiled engine to this file for mfascan -engine")
 	check := flag.Bool("check", true, "self-check the compiled automaton (scan a built-in trace, round-trip a flow context) before reporting or writing it")
 	flag.Parse()
@@ -45,6 +47,13 @@ func run() error {
 
 	opts := core.Options{}
 	opts.DFA.MaxStates = *maxStates
+	if *layout != "" {
+		l, err := dfa.ParseLayout(*layout)
+		if err != nil {
+			return err
+		}
+		opts.DFA.Layout = l
+	}
 	m, err := core.Compile(rules, opts)
 	if err != nil {
 		return err
@@ -65,6 +74,8 @@ func run() error {
 		st.Split.RefusedXInB, st.Split.RefusedXFinalInA, st.Split.RefusedCascade)
 	fmt.Printf("NFA states:      %d\n", st.NFAStates)
 	fmt.Printf("MFA states:      %d\n", st.DFAStates)
+	fmt.Printf("table layout:    %s (%d classes, table %.3f MB)\n",
+		st.DFALayout, st.DFAClasses, mb(st.DFATableBytes))
 	fmt.Printf("memory bits (w): %d\n", st.MemBits)
 	fmt.Printf("internal ids:    %d\n", st.InternalIDs)
 	fmt.Printf("image:           %.3f MB (DFA %.3f MB + filters %.4f MB)\n",

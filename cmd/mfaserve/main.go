@@ -99,6 +99,7 @@ import (
 	"time"
 
 	"matchfilter/internal/core"
+	"matchfilter/internal/dfa"
 	"matchfilter/internal/engine"
 	"matchfilter/internal/flow"
 	"matchfilter/internal/guard"
@@ -150,6 +151,8 @@ func run() (int, error) {
 	sourceQueue := flag.Int("source-queue", 256, "per-source handoff queue depth (segments)")
 	shards := flag.Int("shards", 0, "shard goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 4096, "per-shard queue depth (segments)")
+	layoutFlag := flag.String("layout", "", "transition-table layout for compiled sets: auto, flat, classed, classed2 (applies to -set/-rules, hot reloads and tenant rule sets; -engine images keep their baked layout)")
+	batchFlows := flag.Int("batch-flows", 0, "scan up to this many flows per shard in lockstep (0 or 1 = scan-on-arrival; capped at 16, see DESIGN.md §18)")
 	drop := flag.Bool("drop", false, "drop segments when a shard queue is full instead of applying backpressure")
 	maxFlows := flag.Int("max-flows", 0, "per-shard flow-table cap, LRU-evicted (0 = unbounded)")
 	idle := flag.Int64("idle", 0, "evict flows idle for this many segments (0 = never)")
@@ -169,6 +172,9 @@ func run() (int, error) {
 
 	policy, err := engine.ParseReloadPolicy(*reloadPolicy)
 	if err != nil {
+		return exitError, err
+	}
+	if buildLayout, err = dfa.ParseLayout(*layoutFlag); err != nil {
 		return exitError, err
 	}
 	var memLimit int64
@@ -292,6 +298,7 @@ func run() (int, error) {
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		DropWhenFull:  *drop,
+		BatchFlows:    *batchFlows,
 		Flow:          flow.Config{MaxFlows: *maxFlows},
 		IdleAfter:     *idle,
 		CrashBudget:   *crashBudget,
@@ -690,6 +697,16 @@ func parseTenantSpec(spec string) (tenantInstall, error) {
 	return ti, nil
 }
 
+// buildLayout is the transition-table layout every compile in this
+// process uses (-layout, parsed once at startup; zero value is auto).
+// Engine images loaded with -engine keep the layout they were built
+// with.
+var buildLayout dfa.Layout
+
+func buildOptions() core.Options {
+	return core.Options{DFA: dfa.Options{Layout: buildLayout}}
+}
+
 // compileRules is the tenant rule-set gate: parse the rule text, compile
 // it, and self-check the automaton — exactly the pipeline POST /reload
 // runs for the default set. It serves both -tenant startup specs and
@@ -717,7 +734,7 @@ func compileRules(body []byte) (func() flow.Runner, []string, error) {
 	if len(rules) == 0 {
 		return nil, nil, fmt.Errorf("no patterns")
 	}
-	m, err := core.Compile(rules, core.Options{})
+	m, err := core.Compile(rules, buildOptions())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -824,9 +841,9 @@ func registerBuildMetrics(reg *telemetry.Registry, cur func() core.BuildStats) {
 	g("mfa_build_image_bytes", "total static memory image (DFA + filter program)", func(st core.BuildStats) int { return st.MemoryImageBytes() })
 	g("mfa_build_mem_bits", "per-flow filter memory width w", func(st core.BuildStats) int { return st.MemBits })
 	// Info-style metric: the layout name rides in the label, value is 1
-	// on the serving layout's series. Both layouts are registered so the
+	// on the serving layout's series. All layouts are registered so the
 	// series set is stable across reloads that change layout.
-	for _, layout := range []string{"flat", "classed"} {
+	for _, layout := range []string{"flat", "classed", "classed2"} {
 		layout := layout
 		reg.GaugeFunc("mfa_build_dfa_layout_info",
 			"transition-table layout of the serving engine (1 on the active layout's series)",
@@ -963,7 +980,7 @@ func loadEngine(engineFile, set, rulesFile string) (*core.MFA, []string, error) 
 	default:
 		return nil, nil, fmt.Errorf("one of -engine, -set or -rules is required")
 	}
-	m, err := core.Compile(rules, core.Options{})
+	m, err := core.Compile(rules, buildOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"matchfilter/internal/dfa"
 	"matchfilter/internal/engine"
 	"matchfilter/internal/flow"
 )
@@ -33,6 +34,11 @@ func EngineTrace(scale float64) TraceProfile {
 type EngineScalingResult struct {
 	Set     string
 	Shards  int // 0 = the sequential flow.ScanPcap baseline
+	// BatchFlows and Layout are set on batched rows: the lockstep width K
+	// and the table layout the batched runners used ("classed2", or
+	// "classed" when the pair-table build fell back on that set).
+	BatchFlows int
+	Layout     string
 	Throughput
 	Matches int64
 }
@@ -41,8 +47,12 @@ type EngineScalingResult struct {
 // sequential scanner on a multi-flow trace, per pattern set, at each
 // shard count. The speedup column is relative to the sequential baseline;
 // it approaches the core count on parallel hardware and ≈1× on one core
-// (the dispatch layer's channel handoff is the residual cost).
-func EngineScaling(w io.Writer, engines []*Engines, profile TraceProfile, shardCounts []int) ([]EngineScalingResult, error) {
+// (the dispatch layer's channel handoff is the residual cost). When
+// batchFlows > 1, each shard count is additionally measured with batched
+// lockstep scanning (engine.Config.BatchFlows) over the 2-byte-stride
+// layout — the DESIGN.md §18 configuration, whose single-core speedup is
+// the headline number of that section.
+func EngineScaling(w io.Writer, engines []*Engines, profile TraceProfile, shardCounts []int, batchFlows int) ([]EngineScalingResult, error) {
 	if len(shardCounts) == 0 {
 		shardCounts = []int{1, 2, 4, 8}
 	}
@@ -100,6 +110,41 @@ func EngineScaling(w io.Writer, engines []*Engines, profile TraceProfile, shardC
 			if st.Matches != seqMatches {
 				return nil, fmt.Errorf("bench: %s shards=%d: %d matches, sequential found %d",
 					e.Set, shards, st.Matches, seqMatches)
+			}
+		}
+
+		if batchFlows > 1 {
+			// Batched lockstep rows: same trace, classed2 tables. The match
+			// cross-check below is the layout/batching equivalence claim
+			// exercised end-to-end at benchmark scale.
+			m2, err := compileLayout(e.Set, dfa.LayoutClassed2)
+			if err != nil {
+				return nil, err
+			}
+			layout := m2.Stats().DFALayout
+			newBatched := func() flow.Runner { return m2.NewRunner() }
+			for _, shards := range shardCounts {
+				cfg := engine.Config{Shards: shards, QueueDepth: 4096, BatchFlows: batchFlows}
+				if _, err := engine.ScanPcap(bytes.NewReader(pcapBytes), cfg, newBatched, nil); err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				st, err := engine.ScanPcap(bytes.NewReader(pcapBytes), cfg, newBatched, nil)
+				if err != nil {
+					return nil, err
+				}
+				res := EngineScalingResult{
+					Set: e.Set, Shards: shards, BatchFlows: batchFlows, Layout: layout, Matches: st.Matches,
+					Throughput: throughputOf(st.PayloadBytes, time.Since(start), st.Matches),
+				}
+				all = append(all, res)
+				fmt.Fprintf(tw, "\tshards=%d batch=%d %s\t%.1f\t%.0f\t%.2fx\t%d\n",
+					shards, batchFlows, layout, res.MBps(), res.CyclesPerByte,
+					seq.Elapsed.Seconds()/res.Elapsed.Seconds(), res.Matches)
+				if st.Matches != seqMatches {
+					return nil, fmt.Errorf("bench: %s shards=%d batch=%d: %d matches, sequential found %d",
+						e.Set, shards, batchFlows, st.Matches, seqMatches)
+				}
 			}
 		}
 		if err := tw.Flush(); err != nil {

@@ -38,10 +38,13 @@ type JSONRow struct {
 
 	// Table-layout columns (experiment "layout"): the layout under
 	// measurement, its transition-table image size and, for classed rows,
-	// the byte equivalence-class count.
+	// the byte equivalence-class count. BatchK is the lockstep width on
+	// batched rows (layout and engine experiments); 1 is the single-lane
+	// path through the batcher, hence the pointer (1 must still render).
 	Layout     string `json:"layout,omitempty"`
 	TableBytes int    `json:"table_bytes,omitempty"`
 	Classes    int    `json:"classes,omitempty"`
+	BatchK     *int   `json:"batch_k,omitempty"`
 }
 
 // JSONReport accumulates rows across the experiments of one mfabench run
@@ -109,12 +112,20 @@ func (r *JSONReport) AddEngineScaling(results []EngineScalingResult) {
 		shards := er.Shards
 		row.Shards = &shards
 		row.Matches = er.Matches
+		if er.BatchFlows > 0 {
+			k := er.BatchFlows
+			row.BatchK = &k
+			row.Layout = er.Layout
+		}
 		r.Rows = append(r.Rows, row)
 	}
 }
 
-// AddLayout appends flat-vs-classed rows (experiment "layout"), one row
-// per (set, layout) measurement.
+// AddLayout appends table-layout rows (experiment "layout"): one
+// single-flow row per (set, layout) — the classed2 row reports the layout
+// the build actually produced, so a fallback set emits a second
+// "classed" row rather than a fictitious "classed2" one — plus one
+// batched row per (set, layout, K) lockstep measurement.
 func (r *JSONReport) AddLayout(results []LayoutResult) {
 	for _, lr := range results {
 		flat := r.throughputRow("layout", lr.Set, lr.Flat)
@@ -129,6 +140,22 @@ func (r *JSONReport) AddLayout(results []LayoutResult) {
 		classed.TableBytes = lr.ClassedTableBytes
 		classed.Classes = lr.Classes
 		r.Rows = append(r.Rows, classed)
+
+		classed2 := r.throughputRow("layout", lr.Set, lr.Classed2)
+		classed2.Engine = EngineMFA.String()
+		classed2.Layout = lr.Classed2Layout
+		classed2.TableBytes = lr.Classed2TableBytes
+		classed2.Classes = lr.Classes
+		r.Rows = append(r.Rows, classed2)
+
+		for _, bt := range lr.Batched {
+			row := r.throughputRow("layout", lr.Set, bt.Throughput)
+			row.Engine = EngineMFA.String()
+			row.Layout = bt.Layout
+			k := bt.K
+			row.BatchK = &k
+			r.Rows = append(r.Rows, row)
+		}
 	}
 }
 

@@ -11,53 +11,72 @@ import (
 	"matchfilter/internal/trace"
 )
 
-// LayoutSets are the pattern sets of the flat-vs-classed layout
-// experiment: the vendor and Snort families plus B217p, whose plain DFA
-// is infeasible but whose MFA fragment automaton is the largest table in
-// the suite and therefore the most interesting compression subject.
+// LayoutSets are the pattern sets of the table-layout experiment: the
+// vendor and Snort families plus B217p, whose plain DFA is infeasible
+// but whose MFA fragment automaton is the largest table in the suite and
+// therefore the most interesting compression subject.
 var LayoutSets = []string{"C7p", "C8", "C10", "S24", "B217p"}
 
-// LayoutResult compares the two transition-table layouts of one set's
-// MFA: identical automaton, flat 256-wide table versus the byte-class
-// compressed one.
+// BatchKs are the lockstep widths of the batching experiment
+// (DESIGN.md §18): 1 is the degenerate single-lane baseline through the
+// batcher, 16 is core.MaxBatchFlows.
+var BatchKs = []int{1, 4, 8, 16}
+
+// BatchThroughput is one batched lockstep measurement: the payload
+// split into K equal sub-streams scanned as K concurrent flows by one
+// core.FlowBatcher.
+type BatchThroughput struct {
+	Layout string // layout the lanes ran on ("flat", "classed", "classed2")
+	K      int
+	Throughput
+}
+
+// LayoutResult compares the transition-table layouts of one set's MFA:
+// identical automaton, flat 256-wide table, the byte-class compressed
+// one, and the 2-byte-stride pair table built over the classes.
 type LayoutResult struct {
 	Set     string
 	States  int
 	Classes int
 	// FlatTableBytes and ClassedTableBytes are the transition-table image
 	// sizes (the classed figure includes its 256-byte class map);
-	// Reduction is flat divided by classed.
-	FlatTableBytes    int
-	ClassedTableBytes int
-	Reduction         float64
-	// Flat and Classed are scan throughputs over the same payload: a
-	// text-like trace salted with the set's own literals, the Figure 4
-	// payload model.
-	Flat    Throughput
-	Classed Throughput
+	// Reduction is flat divided by classed. Classed2TableBytes adds the
+	// derived pair table (it includes the retained 1-byte table the slow
+	// and tail paths use).
+	FlatTableBytes     int
+	ClassedTableBytes  int
+	Classed2TableBytes int
+	Reduction          float64
+	// Classed2Layout is the layout the classed2 build actually produced:
+	// "classed2", or "classed" when the pair table would exceed
+	// dfa.Classed2MaxTableBytes and the build fell back.
+	Classed2Layout string
+	// Flat, Classed and Classed2 are single-flow scan throughputs over
+	// the same payload: a text-like trace salted with the set's own
+	// literals, the Figure 4 payload model.
+	Flat     Throughput
+	Classed  Throughput
+	Classed2 Throughput
+	// Batched holds the lockstep measurements: layout × K over the same
+	// payload split into K concurrent flows.
+	Batched []BatchThroughput
 }
 
-// layoutEngines compiles the same rule set twice, once per layout. The
-// flat build is the paper's one-load-per-byte table; the classed build
-// is what core.Compile produces by default when the set compresses.
-func layoutEngines(set string) (flat, classed *core.MFA, err error) {
+// compileLayout builds one set's MFA with an explicit table layout.
+func compileLayout(set string, layout dfa.Layout) (*core.MFA, error) {
 	rules, err := patterns.Load(set)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	coreRules := make([]core.Rule, len(rules))
 	for i, r := range rules {
 		coreRules[i] = core.Rule{Pattern: r.Pattern, ID: r.ID}
 	}
-	flat, err = core.Compile(coreRules, core.Options{DFA: dfa.Options{Layout: dfa.LayoutFlat}})
+	m, err := core.Compile(coreRules, core.Options{DFA: dfa.Options{Layout: layout}})
 	if err != nil {
-		return nil, nil, fmt.Errorf("bench: %s flat MFA: %w", set, err)
+		return nil, fmt.Errorf("bench: %s %v MFA: %w", set, layout, err)
 	}
-	classed, err = core.Compile(coreRules, core.Options{DFA: dfa.Options{Layout: dfa.LayoutClassed}})
-	if err != nil {
-		return nil, nil, fmt.Errorf("bench: %s classed MFA: %w", set, err)
-	}
-	return flat, classed, nil
+	return m, nil
 }
 
 // layoutPayload synthesizes the scan payload for one set: text-like
@@ -71,10 +90,45 @@ func layoutPayload(set string, n int, seed int64) ([]byte, error) {
 	return trace.TextLike(n, seed, words, 0.004), nil
 }
 
-// MeasureLayout builds both layouts of one set's MFA and measures them
-// over the same payload.
+// measureBatched scans the payload as k concurrent flows stepped in
+// lockstep: k equal sub-streams, one fresh runner each, one flush
+// window. This is the steady-state cost of the lockstep loop itself —
+// the shard's drain/flush cadence is measured by the engine experiment.
+// Match counts differ from the single-stream scans (splitting severs
+// cross-boundary matches) and are not compared.
+func measureBatched(m *core.MFA, payload []byte, k int) Throughput {
+	return Measure(func(data []byte) int64 {
+		var events int64
+		cb := func(int32, int64) { events++ }
+		b := core.NewFlowBatcher(k)
+		n := len(data) / k
+		if n == 0 {
+			n = len(data)
+		}
+		for i := 0; i < k && i*n < len(data); i++ {
+			end := (i + 1) * n
+			if i == k-1 || end > len(data) {
+				end = len(data)
+			}
+			b.Add(m.NewRunner(), i, data[i*n:end], cb)
+		}
+		b.Flush()
+		return events
+	}, payload)
+}
+
+// MeasureLayout builds all three layouts of one set's MFA and measures
+// them over the same payload, single-flow and batched.
 func MeasureLayout(set string, bytesN int, seed int64) (LayoutResult, error) {
-	flat, classed, err := layoutEngines(set)
+	flat, err := compileLayout(set, dfa.LayoutFlat)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	classed, err := compileLayout(set, dfa.LayoutClassed)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	classed2, err := compileLayout(set, dfa.LayoutClassed2)
 	if err != nil {
 		return LayoutResult{}, err
 	}
@@ -82,32 +136,42 @@ func MeasureLayout(set string, bytesN int, seed int64) (LayoutResult, error) {
 	if err != nil {
 		return LayoutResult{}, err
 	}
-	fs, cs := flat.Stats(), classed.Stats()
+	fs, cs, c2s := flat.Stats(), classed.Stats(), classed2.Stats()
 	res := LayoutResult{
-		Set:               set,
-		States:            cs.DFAStates,
-		Classes:           cs.DFAClasses,
-		FlatTableBytes:    fs.DFATableBytes,
-		ClassedTableBytes: cs.DFATableBytes,
-		Flat:              Measure(func(data []byte) int64 { return flat.NewRunner().FeedCount(data) }, payload),
-		Classed:           Measure(func(data []byte) int64 { return classed.NewRunner().FeedCount(data) }, payload),
+		Set:                set,
+		States:             cs.DFAStates,
+		Classes:            cs.DFAClasses,
+		FlatTableBytes:     fs.DFATableBytes,
+		ClassedTableBytes:  cs.DFATableBytes,
+		Classed2TableBytes: c2s.DFATableBytes,
+		Classed2Layout:     c2s.DFALayout,
+		Flat:               Measure(func(data []byte) int64 { return flat.NewRunner().FeedCount(data) }, payload),
+		Classed:            Measure(func(data []byte) int64 { return classed.NewRunner().FeedCount(data) }, payload),
+		Classed2:           Measure(func(data []byte) int64 { return classed2.NewRunner().FeedCount(data) }, payload),
 	}
 	if cs.DFATableBytes > 0 {
 		res.Reduction = float64(fs.DFATableBytes) / float64(cs.DFATableBytes)
 	}
+	for _, k := range BatchKs {
+		res.Batched = append(res.Batched,
+			BatchThroughput{Layout: "flat", K: k, Throughput: measureBatched(flat, payload, k)},
+			BatchThroughput{Layout: "classed", K: k, Throughput: measureBatched(classed, payload, k)},
+			BatchThroughput{Layout: c2s.DFALayout, K: k, Throughput: measureBatched(classed2, payload, k)},
+		)
+	}
 	return res, nil
 }
 
-// LayoutComparison runs the flat-vs-classed experiment over the given
-// sets (default LayoutSets) and renders the size and throughput table
-// that DESIGN.md §13 and EXPERIMENTS.md discuss.
+// LayoutComparison runs the layout-and-batching experiment over the
+// given sets (default LayoutSets) and renders the size and throughput
+// tables that DESIGN.md §13/§18 and EXPERIMENTS.md discuss.
 func LayoutComparison(w io.Writer, sets []string, bytesN int, seed int64) ([]LayoutResult, error) {
 	if len(sets) == 0 {
 		sets = LayoutSets
 	}
-	fmt.Fprintln(w, "Transition-table layouts: flat (256-wide) vs byte-class compressed")
+	fmt.Fprintln(w, "Transition-table layouts: flat (256-wide) vs byte-class compressed vs 2-byte stride")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Set\tstates\tclasses\tflat table\tclassed table\treduction\tflat MB/s\tclassed MB/s")
+	fmt.Fprintln(tw, "Set\tstates\tclasses\tflat table\tclassed table\tclassed2 table\treduction\tflat MB/s\tclassed MB/s\tclassed2 MB/s")
 	var all []LayoutResult
 	for _, set := range sets {
 		res, err := MeasureLayout(set, bytesN, seed)
@@ -115,15 +179,49 @@ func LayoutComparison(w io.Writer, sets []string, bytesN int, seed int64) ([]Lay
 			return nil, err
 		}
 		all = append(all, res)
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1fx\t%.0f\t%.0f\n",
+		c2 := fmt.Sprintf("%d", res.Classed2TableBytes)
+		if res.Classed2Layout != "classed2" {
+			c2 += "*" // fell back: pair table over dfa.Classed2MaxTableBytes
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%.1fx\t%.0f\t%.0f\t%.0f\n",
 			res.Set, res.States, res.Classes,
-			res.FlatTableBytes, res.ClassedTableBytes, res.Reduction,
-			res.Flat.MBps(), res.Classed.MBps())
+			res.FlatTableBytes, res.ClassedTableBytes, c2, res.Reduction,
+			res.Flat.MBps(), res.Classed.MBps(), res.Classed2.MBps())
 	}
 	if err := tw.Flush(); err != nil {
 		return nil, err
 	}
-	fmt.Fprintln(w, "(classed table bytes include the 256-byte class map; same automaton,")
-	fmt.Fprintln(w, " same match stream — see the layout equivalence tests)")
+	fmt.Fprintln(w, "(classed table bytes include the 256-byte class map; classed2 includes the")
+	fmt.Fprintln(w, " retained 1-byte table; * marks a fallback to classed — pair table too large.")
+	fmt.Fprintln(w, " Same automaton, same match stream — see the layout equivalence tests.)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Batched lockstep: K concurrent flows per flush window (MB/s, aggregate)")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "Set\tlayout"
+	for _, k := range BatchKs {
+		header += fmt.Sprintf("\tK=%d", k)
+	}
+	fmt.Fprintln(tw, header)
+	for _, res := range all {
+		byLayout := map[string][]BatchThroughput{}
+		var order []string
+		for _, bt := range res.Batched {
+			if _, seen := byLayout[bt.Layout]; !seen {
+				order = append(order, bt.Layout)
+			}
+			byLayout[bt.Layout] = append(byLayout[bt.Layout], bt)
+		}
+		for _, layout := range order {
+			row := fmt.Sprintf("%s\t%s", res.Set, layout)
+			for _, bt := range byLayout[layout] {
+				row += fmt.Sprintf("\t%.0f", bt.MBps())
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "(one core; K=1 is the single-lane path through the batcher)")
 	return all, nil
 }

@@ -4,45 +4,43 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"matchfilter/internal/dfa"
 )
 
 // BenchmarkClassedVsFlat scans the same salted text-like payload with
-// both table layouts of each set's MFA. CI runs it with -benchtime=1x as
-// a smoke test; locally, -bench=Classed gives the real comparison.
+// all three table layouts of each set's MFA. CI runs it with
+// -benchtime=1x as a smoke test; locally, -bench=Classed gives the real
+// comparison.
 func BenchmarkClassedVsFlat(b *testing.B) {
 	const payloadBytes = 1 << 20
 	for _, set := range LayoutSets {
-		flat, classed, err := layoutEngines(set)
-		if err != nil {
-			b.Fatal(err)
-		}
 		payload, err := layoutPayload(set, payloadBytes, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(set+"/flat", func(b *testing.B) {
-			r := flat.NewRunner()
-			b.SetBytes(int64(len(payload)))
-			for i := 0; i < b.N; i++ {
-				r.Reset()
-				r.FeedCount(payload)
+		for _, layout := range []dfa.Layout{dfa.LayoutFlat, dfa.LayoutClassed, dfa.LayoutClassed2} {
+			m, err := compileLayout(set, layout)
+			if err != nil {
+				b.Fatal(err)
 			}
-		})
-		b.Run(set+"/classed", func(b *testing.B) {
-			r := classed.NewRunner()
-			b.SetBytes(int64(len(payload)))
-			for i := 0; i < b.N; i++ {
-				r.Reset()
-				r.FeedCount(payload)
-			}
-		})
+			b.Run(set+"/"+layout.String(), func(b *testing.B) {
+				r := m.NewRunner()
+				b.SetBytes(int64(len(payload)))
+				for i := 0; i < b.N; i++ {
+					r.Reset()
+					r.FeedCount(payload)
+				}
+			})
+		}
 	}
 }
 
 // TestLayoutComparison smoke-tests the experiment end to end on one
 // small set and checks the acceptance-relevant invariants: the classed
-// table is smaller and both layouts saw identical match counts on the
-// shared payload.
+// table is smaller than flat, all three layouts saw identical match
+// counts on the shared payload, and every (layout, K) batched row was
+// measured.
 func TestLayoutComparison(t *testing.T) {
 	results, err := LayoutComparison(io.Discard, []string{"C10"}, 1<<16, 1)
 	if err != nil {
@@ -59,9 +57,21 @@ func TestLayoutComparison(t *testing.T) {
 	if res.Classes <= 0 || res.Classes >= 256 {
 		t.Fatalf("implausible class count %d", res.Classes)
 	}
-	if res.Flat.MatchEvents != res.Classed.MatchEvents {
-		t.Fatalf("layouts disagree on match count: flat %d, classed %d",
-			res.Flat.MatchEvents, res.Classed.MatchEvents)
+	if res.Flat.MatchEvents != res.Classed.MatchEvents ||
+		res.Flat.MatchEvents != res.Classed2.MatchEvents {
+		t.Fatalf("layouts disagree on match count: flat %d, classed %d, classed2 %d",
+			res.Flat.MatchEvents, res.Classed.MatchEvents, res.Classed2.MatchEvents)
+	}
+	if res.Classed2Layout != "classed2" {
+		t.Fatalf("C10 classed2 build fell back to %q; pair table should fit", res.Classed2Layout)
+	}
+	if want := 3 * len(BatchKs); len(res.Batched) != want {
+		t.Fatalf("got %d batched rows, want %d", len(res.Batched), want)
+	}
+	for _, bt := range res.Batched {
+		if bt.Bytes == 0 || bt.Elapsed <= 0 {
+			t.Fatalf("batched row %s K=%d not measured: %+v", bt.Layout, bt.K, bt.Throughput)
+		}
 	}
 
 	var report JSONReport
@@ -70,7 +80,10 @@ func TestLayoutComparison(t *testing.T) {
 	if err := report.Write(&sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"experiment": "layout"`, `"layout": "flat"`, `"layout": "classed"`, `"table_bytes"`} {
+	for _, want := range []string{
+		`"experiment": "layout"`, `"layout": "flat"`, `"layout": "classed"`,
+		`"layout": "classed2"`, `"table_bytes"`, `"batch_k": 1`, `"batch_k": 16`,
+	} {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("JSON report missing %s:\n%s", want, sb.String())
 		}

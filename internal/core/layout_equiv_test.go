@@ -11,11 +11,12 @@ import (
 )
 
 // TestLayoutEquivalence is the tentpole's end-to-end property test:
-// for random subsets of the named pattern sets, a flat-layout MFA and a
-// classed-layout MFA must emit byte-identical (id, pos) match streams on
-// both uniform-random payloads and trace-generated (match-seeking)
-// payloads, including when the payload arrives in arbitrary Feed chunks.
-// It runs under -race in CI.
+// for random subsets of the named pattern sets, flat-, classed- and
+// classed2-layout MFAs must emit byte-identical (id, pos) match streams
+// on both uniform-random payloads and trace-generated (match-seeking)
+// payloads, including when the payload arrives in arbitrary Feed chunks
+// — odd-length chunks included, which exercise the classed2 1-byte tail
+// path at every boundary. It runs under -race in CI.
 func TestLayoutEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	sets := []string{"C7p", "C8", "C10", "S24"}
@@ -52,43 +53,111 @@ func TestLayoutEquivalence(t *testing.T) {
 			if got := classed.Stats().DFALayout; got != "classed" {
 				t.Fatalf("%s/%d: classed build reports layout %q", set, trial, got)
 			}
+			classed2, err := Compile(rules, Options{DFA: dfa.Options{Layout: dfa.LayoutClassed2}})
+			if err != nil {
+				t.Fatalf("%s/%d: classed2 compile: %v", set, trial, err)
+			}
+			if got := classed2.Stats().DFALayout; got != "classed2" {
+				t.Fatalf("%s/%d: classed2 build reports layout %q", set, trial, got)
+			}
+			variants := []*MFA{classed, classed2}
+			names := []string{"classed", "classed2"}
 
 			seed := int64(set[0])*1000 + int64(trial)
 			gen := trace.NewGenerator(flat.DFA(), seed)
 			inputs := [][]byte{
-				trace.Random(4096, seed),
+				trace.Random(4095, seed), // odd length: whole-payload tail path
 				gen.Generate(nil, 4096, 0.35), // drives the automaton toward accepts
 				gen.Generate(nil, 4096, 0.95), // near-adversarial: maximal match density
 			}
 			for ii, input := range inputs {
 				want := fmt.Sprint(flat.Run(input))
-				if got := fmt.Sprint(classed.Run(input)); got != want {
-					t.Fatalf("%s/%d input %d: match streams differ\nflat:    %s\nclassed: %s",
-						set, trial, ii, want, got)
+				for vi, m := range variants {
+					if got := fmt.Sprint(m.Run(input)); got != want {
+						t.Fatalf("%s/%d input %d: match streams differ\nflat:    %s\n%s: %s",
+							set, trial, ii, want, names[vi], got)
+					}
 				}
 
-				// Same payload delivered in random chunks: per-flow context
-				// must carry across Feed calls identically in both layouts.
-				fr, cr := flat.NewRunner(), classed.NewRunner()
-				var fe, ce []MatchEvent
+				// Same payload delivered in random chunks — odd lengths
+				// forced on half the chunks: per-flow context must carry
+				// across Feed calls identically in every layout.
+				runners := []*Runner{flat.NewRunner(), classed.NewRunner(), classed2.NewRunner()}
+				streams := make([][]MatchEvent, len(runners))
 				for off := 0; off < len(input); {
 					n := 1 + rng.Intn(700)
+					if rng.Intn(2) == 0 {
+						n |= 1
+					}
 					if off+n > len(input) {
 						n = len(input) - off
 					}
-					fr.Feed(input[off:off+n], func(id int32, pos int64) {
-						fe = append(fe, MatchEvent{RuleID: id, Pos: pos})
-					})
-					cr.Feed(input[off:off+n], func(id int32, pos int64) {
-						ce = append(ce, MatchEvent{RuleID: id, Pos: pos})
-					})
+					for ri, r := range runners {
+						ri := ri
+						r.Feed(input[off:off+n], func(id int32, pos int64) {
+							streams[ri] = append(streams[ri], MatchEvent{RuleID: id, Pos: pos})
+						})
+					}
 					off += n
 				}
-				if fmt.Sprint(fe) != fmt.Sprint(ce) {
-					t.Fatalf("%s/%d input %d: chunked match streams differ", set, trial, ii)
+				for ri := range runners {
+					if got := fmt.Sprint(streams[ri]); got != want {
+						t.Fatalf("%s/%d input %d: chunked stream %d differs from whole-payload stream",
+							set, trial, ii, ri)
+					}
 				}
-				if fmt.Sprint(fe) != want {
-					t.Fatalf("%s/%d input %d: chunked stream differs from whole-payload stream", set, trial, ii)
+			}
+
+			// Batched lockstep: the three inputs become three concurrent
+			// flows through one FlowBatcher per layout; every flow's stream
+			// must equal its flat sequential reference, for every batch
+			// width including K=1 (degenerate, exercises the full-batch
+			// self-flush in Add).
+			for _, k := range []int{1, 2, 3, MaxBatchFlows} {
+				for vi, m := range append([]*MFA{flat}, variants...) {
+					name := append([]string{"flat"}, names...)[vi]
+					b := NewFlowBatcher(k)
+					frs := make([]*Runner, len(inputs))
+					streams := make([][]MatchEvent, len(inputs))
+					offs := make([]int, len(inputs))
+					cbs := make([]MatchFunc, len(inputs))
+					for fi := range inputs {
+						frs[fi] = m.NewRunner()
+						fi := fi
+						cbs[fi] = func(id int32, pos int64) {
+							streams[fi] = append(streams[fi], MatchEvent{RuleID: id, Pos: pos})
+						}
+					}
+					for done := false; !done; {
+						done = true
+						for fi, input := range inputs {
+							if offs[fi] >= len(input) {
+								continue
+							}
+							done = false
+							n := 1 + rng.Intn(1200)
+							if rng.Intn(2) == 0 {
+								n |= 1
+							}
+							if offs[fi]+n > len(input) {
+								n = len(input) - offs[fi]
+							}
+							if !b.Add(frs[fi], fi, input[offs[fi]:offs[fi]+n], cbs[fi]) {
+								t.Fatalf("%s/%d: batcher refused a core runner", set, trial)
+							}
+							offs[fi] += n
+						}
+					}
+					b.Flush()
+					if b.Len() != 0 || b.Scanning() != nil {
+						t.Fatalf("%s/%d %s k=%d: batcher not empty after flush", set, trial, name, k)
+					}
+					for fi, input := range inputs {
+						if got, want := fmt.Sprint(streams[fi]), fmt.Sprint(flat.Run(input)); got != want {
+							t.Fatalf("%s/%d %s k=%d flow %d: batched stream differs\nwant: %s\ngot:  %s",
+								set, trial, name, k, fi, want, got)
+						}
+					}
 				}
 			}
 		}

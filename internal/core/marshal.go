@@ -75,12 +75,15 @@ func readMFA(r io.Reader) (*MFA, error) {
 		}
 	}
 	trans, classOf, stride := d.ScanTable()
+	trans2, stride2 := d.PairTable()
 	return &MFA{
 		engine:      dfa.NewEngine(d),
 		prog:        prog,
 		trans:       trans,
 		classOf:     classOf,
 		stride:      stride,
+		trans2:      trans2,
+		stride2:     stride2,
 		acceptStart: d.AcceptStart(),
 		accepts:     d.AcceptSets(),
 		stats: BuildStats{

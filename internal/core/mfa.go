@@ -9,6 +9,18 @@
 // per-flow matching context is the pair (q, m) — one DFA state and one
 // w-bit memory — so multiplexing many flows costs a few bytes per flow
 // (§III-B).
+//
+// Layout-independence invariant: the DFA's transition-table layout
+// (flat, classed, or classed2 — dfa.Options.Layout) changes only memory
+// footprint and load pattern, never behaviour. Feed produces
+// byte-identical (ruleID, pos) match streams in every layout, and the
+// contexts exchanged through Runner.Context/SetContext carry plain DFA
+// state numbers — never layout-internal scaled row bases or pair-table
+// positions — so a context saved under one layout (or one generation of
+// a hot-reloaded rule set compiled with another layout) restores
+// correctly, and can never resume in the middle of a classed2 byte
+// pair. FlowBatcher (batch.go) preserves the same invariant: batched
+// lockstep scanning reorders work across flows, never within one.
 package core
 
 import (
@@ -59,11 +71,12 @@ type BuildStats struct {
 	DFABytes    int
 	FilterBytes int
 	// DFATableBytes is the transition table's share of DFABytes in its
-	// actual layout (classed tables include the 256-byte class map);
+	// actual layout (classed tables include the 256-byte class map;
+	// classed2 includes the pair table plus the retained 1-byte table);
 	// DFAClasses is the byte equivalence-class count (256 when flat) and
-	// DFALayout names the layout ("flat" or "classed"). Exposed to
-	// telemetry so /metrics and /statsz report what the scan loop is
-	// actually walking.
+	// DFALayout names the layout ("flat", "classed" or "classed2").
+	// Exposed to telemetry so /metrics and /statsz report what the scan
+	// loop is actually walking.
 	DFATableBytes int
 	DFAClasses    int
 	DFALayout     string
@@ -83,11 +96,15 @@ type MFA struct {
 	// Hot-loop views of the DFA, cached so Runner.Feed runs the
 	// table-walk inline instead of through dfa.Runner callbacks.
 	// classOf is nil for the flat layout; stride is the table's row
-	// width (256 flat, the class count otherwise). Runner.Feed branches
-	// on the layout once per call, never per byte.
+	// width (256 flat, the class count otherwise); trans2/stride2 are
+	// the 2-byte-stride pair table and its row width (nil/0 unless the
+	// layout is classed2). Runner.Feed branches on the layout once per
+	// call, never per byte.
 	trans       []uint32
 	classOf     []uint8
 	stride      int
+	trans2      []uint32
+	stride2     int
 	acceptStart uint32
 	accepts     [][]int32
 }
@@ -132,12 +149,15 @@ func Compile(rules []Rule, opts Options) (*MFA, error) {
 
 	prog := res.Program()
 	trans, classOf, stride := d.ScanTable()
+	trans2, stride2 := d.PairTable()
 	m := &MFA{
 		engine:      dfa.NewEngine(d),
 		prog:        prog,
 		trans:       trans,
 		classOf:     classOf,
 		stride:      stride,
+		trans2:      trans2,
+		stride2:     stride2,
 		acceptStart: d.AcceptStart(),
 		accepts:     d.AcceptSets(),
 		stats: BuildStats{
@@ -247,7 +267,10 @@ func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registe
 // engine's hot loop matches a bare DFA until a possible match needs
 // filtering: one table load and compare per byte on the flat layout,
 // plus one load from the always-cached 256-byte class map on the
-// byte-class layout.
+// byte-class layout; the classed2 layout walks the δ² pair table (one
+// dependent load per two bytes), taking the slow path only for pairs
+// that end accepting or cross an accepting mid state, and finishing an
+// odd-length chunk with a single 1-byte step.
 func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	m := r.mfa
 	prog := m.prog
@@ -257,7 +280,35 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	acceptStart := m.acceptStart
 	state := r.dfa.State()
 	pos := r.dfa.Pos()
-	if classOf := m.classOf; classOf != nil {
+	if trans2 := m.trans2; trans2 != nil {
+		k := uint32(m.stride)
+		s2 := uint32(m.stride2)
+		classOf := m.classOf
+		scaledAccept2 := acceptStart * s2
+		st2 := state * s2
+		n := len(data) &^ 1
+		for i := 0; i < n; i += 2 {
+			nxt := trans2[st2+uint32(classOf[data[i]])*k+uint32(classOf[data[i+1]])]
+			if nxt >= scaledAccept2 {
+				nxt = r.pairSlow(st2/s2, data[i], data[i+1], pos, onMatch)
+			}
+			st2 = nxt
+			pos += 2
+		}
+		state = st2 / s2
+		if n < len(data) { // odd tail: one 1-byte classed step
+			base := trans[state*k+uint32(classOf[data[n]])]
+			if base >= acceptStart*k {
+				for _, id := range m.accepts[(base-acceptStart*k)/k] {
+					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+						onMatch(ruleID, pos)
+					}
+				}
+			}
+			state = base / k
+			pos++
+		}
+	} else if classOf := m.classOf; classOf != nil {
 		// Classed tables hold pre-scaled row bases (see dfa.ScanTable):
 		// the walk is a single add per byte; state numbers are recovered
 		// only at accept events and at the end of the call.
@@ -290,6 +341,34 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 		}
 	}
 	r.dfa.SetState(state, pos)
+}
+
+// pairSlow replays one classed2 pair through the 1-byte table, running
+// the filter program at the exact offset of each accepting state the
+// pair visits. It is the cold path behind the pair loop's single accept
+// compare; state is a plain state number, pos the offset of b1, and the
+// return value is the resulting pair-row base.
+func (r *Runner) pairSlow(state uint32, b1, b2 byte, pos int64, onMatch MatchFunc) uint32 {
+	m := r.mfa
+	k := uint32(m.stride)
+	scaledAccept := m.acceptStart * k
+	midBase := m.trans[state*k+uint32(m.classOf[b1])]
+	if midBase >= scaledAccept {
+		for _, id := range m.accepts[(midBase-scaledAccept)/k] {
+			if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos); ok {
+				onMatch(ruleID, pos)
+			}
+		}
+	}
+	finBase := m.trans[midBase+uint32(m.classOf[b2])]
+	if finBase >= scaledAccept {
+		for _, id := range m.accepts[(finBase-scaledAccept)/k] {
+			if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos+1); ok {
+				onMatch(ruleID, pos+1)
+			}
+		}
+	}
+	return (finBase / k) * uint32(m.stride2)
 }
 
 // FeedCount advances the flow and returns only the number of confirmed

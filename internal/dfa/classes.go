@@ -1,5 +1,7 @@
 package dfa
 
+import "fmt"
+
 // Byte-class (alphabet equivalence-class) compression of the transition
 // table. Two input bytes are equivalent iff every state maps them to the
 // same successor; security pattern sets distinguish far fewer than 256
@@ -39,6 +41,18 @@ const (
 	// numClasses table: two dependent loads per input byte, the first of
 	// which hits a single always-cached 256-byte array.
 	LayoutClassed
+	// LayoutClassed2 extends the classed layout with a 2-byte-stride
+	// table: a numStates × numClasses² table whose entry for (state,
+	// class₁, class₂) is the state reached after consuming both bytes,
+	// so the loop-carried dependency chain is one table load per *two*
+	// input bytes. The 1-byte classed table is kept alongside it for
+	// odd-length tails at Feed-chunk boundaries and for the rare
+	// accepting pairs (see pairtable.go). Explicit opt-in only: the pair
+	// table is numClasses× larger than the classed one, so LayoutAuto
+	// never chooses it, and sets whose pair table would exceed
+	// Classed2MaxTableBytes fall back to LayoutClassed (check the built
+	// DFA's Layout()).
+	LayoutClassed2
 )
 
 // String names the layout for stats, telemetry and reports.
@@ -50,9 +64,27 @@ func (l Layout) String() string {
 		return "flat"
 	case LayoutClassed:
 		return "classed"
+	case LayoutClassed2:
+		return "classed2"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseLayout resolves a layout name as used by command-line flags and
+// reports ("auto", "flat", "classed", "classed2").
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "auto":
+		return LayoutAuto, nil
+	case "flat":
+		return LayoutFlat, nil
+	case "classed":
+		return LayoutClassed, nil
+	case "classed2":
+		return LayoutClassed2, nil
+	}
+	return LayoutAuto, fmt.Errorf("dfa: unknown layout %q (want auto, flat, classed or classed2)", s)
 }
 
 // autoClassThreshold is the LayoutAuto cutoff: compression is kept when
@@ -161,6 +193,10 @@ func (d *DFA) applyLayout(l Layout) *DFA {
 		return d
 	case LayoutClassed:
 		return d.compressed()
+	case LayoutClassed2:
+		// Falls back to classed when the pair table would exceed
+		// Classed2MaxTableBytes; Layout() on the result tells which.
+		return d.compressed().withPairs()
 	default: // LayoutAuto
 		c := d.compressed()
 		if c.numClasses <= autoClassThreshold {

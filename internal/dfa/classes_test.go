@@ -150,11 +150,12 @@ func TestLayoutAutoPicksClassed(t *testing.T) {
 	}
 }
 
-// TestMarshalRoundTripBothLayouts checks WriteTo/ReadDFA over both
+// TestMarshalRoundTripBothLayouts checks WriteTo/ReadDFA over all three
 // layouts: the decoded automaton must preserve layout, class map and
-// match behaviour exactly.
+// match behaviour exactly (for classed2 the pair table is rebuilt on
+// decode rather than carried on the wire).
 func TestMarshalRoundTripBothLayouts(t *testing.T) {
-	for _, layout := range []Layout{LayoutFlat, LayoutClassed} {
+	for _, layout := range []Layout{LayoutFlat, LayoutClassed, LayoutClassed2} {
 		d, err := FromNFA(buildNFA(t, "attack.*payload", "x[0-9]+y"), Options{Layout: layout})
 		if err != nil {
 			t.Fatal(err)

@@ -3,7 +3,7 @@
 // (the Dq: Q → 2^Di component of the paper's 9-tuple), plus a fast
 // matching engine and an optional minimization pass.
 //
-// Two table layouts are supported, selected by Options.Layout:
+// Three table layouts are supported, selected by Options.Layout:
 //
 //   - Flat: a single []uint32 indexed by state*256+byte, so advancing
 //     the automaton is one load per input byte.
@@ -12,12 +12,22 @@
 //     state*numClasses+classOf[byte] — two dependent loads per byte, but
 //     a table typically 5–20× smaller that stays cache-resident as state
 //     counts grow. See classes.go.
+//   - Classed2 (explicit opt-in): the classed layout plus a
+//     numStates×numClasses² pair table encoding δ², so the loop-carried
+//     dependency chain is one table load per two input bytes, with a
+//     1-byte tail step at chunk boundaries. See pairtable.go.
 //
-// The two layouts encode the identical successor function and produce
-// byte-for-byte identical match streams; only memory footprint and load
-// pattern differ. In both layouts states are renumbered so that all
-// accepting states form a contiguous tail, making the per-byte "did we
-// match" test a single integer compare.
+// Layout-independence invariant: every layout encodes the identical
+// successor function and produces byte-for-byte identical (id, pos)
+// match streams; only memory footprint and load pattern differ. All
+// APIs that cross the package boundary — Next, Runner.State/SetState,
+// Matches, and the wire format — speak plain state numbers, never
+// layout-internal scaled row bases, so a context saved from a flat
+// engine restores into a classed or classed2 one built from the same
+// NFA (and vice versa), and contexts can never encode a position inside
+// a classed2 byte pair. In every layout states are renumbered so that
+// all accepting states form a contiguous tail, making the per-byte "did
+// we match" test a single integer compare.
 //
 // Concurrency: a *DFA and the Engine wrapping it are immutable after
 // construction and safe for unlimited concurrent readers. All mutable
@@ -81,7 +91,15 @@ type DFA struct {
 	// classOf maps each input byte to its equivalence class; nil marks
 	// the flat layout (the discriminant every hot loop branches on once
 	// per Feed call, never per byte).
-	classOf     []uint8
+	classOf []uint8
+	// trans2 is the optional 2-byte-stride pair table
+	// (numStates×numClasses², entries are pre-scaled pair-row bases,
+	// possibly carrying pairAcceptFlag — see pairtable.go); nil unless
+	// the layout is classed2. When present, trans and classOf are also
+	// kept for the odd-byte tail and mid-pair accept paths.
+	trans2 []uint32
+	// stride2 is the pair-table row stride numClasses²; 0 unless classed2.
+	stride2     int
 	acceptStart uint32    // states >= acceptStart are accepting
 	accepts     [][]int32 // match ids for states >= acceptStart, indexed by state-acceptStart
 }
@@ -329,13 +347,19 @@ func (d *DFA) ScanTable() (trans []uint32, classOf []uint8, stride int) {
 	return d.trans, d.classOf, d.numClasses
 }
 
-// Layout reports the table representation: LayoutFlat or LayoutClassed
-// (never LayoutAuto — Auto resolves at construction time).
+// Layout reports the table representation actually applied: LayoutFlat,
+// LayoutClassed, or LayoutClassed2 (never LayoutAuto — Auto resolves at
+// construction time; a LayoutClassed2 request whose pair table exceeds
+// Classed2MaxTableBytes resolves to LayoutClassed).
 func (d *DFA) Layout() Layout {
-	if d.classOf == nil {
+	switch {
+	case d.classOf == nil:
 		return LayoutFlat
+	case d.trans2 != nil:
+		return LayoutClassed2
+	default:
+		return LayoutClassed
 	}
-	return LayoutClassed
 }
 
 // NumClasses returns the number of byte equivalence classes, which is
@@ -346,15 +370,28 @@ func (d *DFA) NumClasses() int { return d.numClasses }
 // nil for the flat layout. Shared, read-only.
 func (d *DFA) ClassMap() []uint8 { return d.classOf }
 
-// TableBytes returns the size of the transition table plus, for the
-// classed layout, its class map — the footprint the layout choice
-// trades against scan-loop load count.
+// TableBytes returns the size of the transition table(s) plus, for the
+// classed layouts, the class map — the footprint the layout choice
+// trades against scan-loop load count. For classed2 this includes both
+// the pair table and the retained 1-byte table.
 func (d *DFA) TableBytes() int {
-	n := len(d.trans) * 4
+	n := (len(d.trans) + len(d.trans2)) * 4
 	if d.classOf != nil {
 		n += len(d.classOf)
 	}
 	return n
+}
+
+// PairTable returns the hot-loop view of the classed2 pair table: the
+// δ² table and its row stride numClasses². Both are nil/0 unless
+// Layout() == LayoutClassed2. Entries are pre-scaled pair-row bases
+// (next×stride2), with bit 31 set when the pair's intermediate state is
+// accepting; a walk therefore steps st2 = trans2[st2 +
+// classOf[b1]*NumClasses + classOf[b2]] and treats any entry ≥
+// AcceptStart×stride2 as "consult the 1-byte table for exact match
+// offsets" (see pairtable.go). Shared, read-only.
+func (d *DFA) PairTable() (trans2 []uint32, stride2 int) {
+	return d.trans2, d.stride2
 }
 
 // AcceptStart returns the first accepting state id; states in

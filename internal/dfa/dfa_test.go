@@ -11,7 +11,7 @@ import (
 	"matchfilter/internal/regexparse"
 )
 
-func buildNFA(t *testing.T, sources ...string) *nfa.NFA {
+func buildNFA(t testing.TB, sources ...string) *nfa.NFA {
 	t.Helper()
 	rules := make([]nfa.Rule, len(sources))
 	for i, src := range sources {

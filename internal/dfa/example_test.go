@@ -51,3 +51,57 @@ func ExampleFromNFA() {
 	// layouts: flat vs classed
 	// classed table smaller: true
 }
+
+// ExampleLayoutClassed2 opts into the 2-byte-stride pair table and
+// shows the layout-independence invariant in action: the classed2
+// engine reports the identical (id, pos) match stream — including on an
+// odd-length payload, which exercises the 1-byte tail step — and a
+// context saved from it restores into a flat engine built from the same
+// NFA, because every layout speaks plain state numbers at its API
+// boundary.
+func ExampleLayoutClassed2() {
+	sources := []string{"attack.*payload", "abc"}
+	rules := make([]nfa.Rule, len(sources))
+	for i, src := range sources {
+		p, err := regexparse.ParsePCRE(src)
+		if err != nil {
+			fmt.Println("parse:", err)
+			return
+		}
+		rules[i] = nfa.Rule{Pattern: p, MatchID: i + 1}
+	}
+	n, err := nfa.Build(rules)
+	if err != nil {
+		fmt.Println("nfa:", err)
+		return
+	}
+
+	flat, err := dfa.FromNFA(n, dfa.Options{Layout: dfa.LayoutFlat})
+	if err != nil {
+		fmt.Println("dfa:", err)
+		return
+	}
+	paired, err := dfa.FromNFA(n, dfa.Options{Layout: dfa.LayoutClassed2})
+	if err != nil {
+		fmt.Println("dfa:", err)
+		return
+	}
+
+	payload := []byte("xx abc attack with payload!") // 27 bytes: odd, tail path taken
+	fmt.Println("layout:", paired.Layout())
+	fmt.Println("streams equal:",
+		fmt.Sprint(dfa.NewEngine(paired).Run(payload)) == fmt.Sprint(dfa.NewEngine(flat).Run(payload)))
+
+	// Save a context mid-flow from the classed2 engine, restore it into
+	// the flat one, and finish the scan there.
+	r := dfa.NewEngine(paired).NewRunner()
+	r.Feed(payload[:9], func(id int32, pos int64) { fmt.Printf("match id %d at offset %d\n", id, pos) })
+	r2 := dfa.NewEngine(flat).NewRunner()
+	r2.SetState(r.State(), r.Pos())
+	r2.Feed(payload[9:], func(id int32, pos int64) { fmt.Printf("match id %d at offset %d\n", id, pos) })
+	// Output:
+	// layout: classed2
+	// streams equal: true
+	// match id 2 at offset 5
+	// match id 1 at offset 25
+}

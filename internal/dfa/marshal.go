@@ -12,7 +12,16 @@ import (
 // little-endian framing, versioned so stored engines fail loudly rather
 // than misbehave after an incompatible change.
 //
-// Version 2 (written by WriteTo, carries the table layout):
+// Version 3 (written for classed2 automata; identical framing to v2
+// with layout code 2 allowed):
+//
+//	magic "MFDFA3\n", then the v2 body with u8 layout = 2. The pair
+//	table is NEVER serialized — it is a pure function of the 1-byte
+//	classed table (δ² = δ∘δ) and is rebuilt on decode, so images stay
+//	small and the per-entry bounds check stays meaningful.
+//
+// Version 2 (written by WriteTo for flat and classed automata, so
+// images those older readers can use keep the older magic):
 //
 //	magic "MFDFA2\n", u32 numStates, u32 start, u32 acceptStart
 //	u8 layout (0 = flat, 1 = classed), u32 numClasses
@@ -30,12 +39,14 @@ import (
 const (
 	dfaMagicV1 = "MFDFA1\n"
 	dfaMagicV2 = "MFDFA2\n"
+	dfaMagicV3 = "MFDFA3\n"
 )
 
-// Layout wire codes of the v2 header.
+// Layout wire codes of the v2/v3 header.
 const (
-	wireLayoutFlat    = 0
-	wireLayoutClassed = 1
+	wireLayoutFlat     = 0
+	wireLayoutClassed  = 1
+	wireLayoutClassed2 = 2
 )
 
 // ErrBadFormat is returned (wrapped) when decoding unrecognized or
@@ -50,11 +61,14 @@ var ErrBadFormat = errors.New("dfa: bad serialized format")
 // style of the internal/pcap error taxonomy.
 var ErrTableSize = errors.New("dfa: transition table size mismatch")
 
-// WriteTo serializes the automaton in the v2 format. It implements
-// io.WriterTo. An internally inconsistent receiver (table length not
-// equal to numStates × numClasses — impossible for automata built by
-// this package, but conceivable for a hand-assembled one) is rejected
-// with ErrTableSize rather than written as an undecodable stream.
+// WriteTo serializes the automaton: v2 format for flat and classed
+// layouts, v3 for classed2 (same framing, newer magic, layout code 2;
+// only the 1-byte table travels — the pair table is rebuilt on decode).
+// It implements io.WriterTo. An internally inconsistent receiver (table
+// length not equal to numStates × numClasses — impossible for automata
+// built by this package, but conceivable for a hand-assembled one) is
+// rejected with ErrTableSize rather than written as an undecodable
+// stream.
 func (d *DFA) WriteTo(w io.Writer) (int64, error) {
 	if len(d.trans) != d.numStates*d.numClasses {
 		return 0, fmt.Errorf("%w: table has %d entries, want %d states × %d classes = %d",
@@ -66,7 +80,11 @@ func (d *DFA) WriteTo(w io.Writer) (int64, error) {
 			cw.err = binary.Write(cw, binary.LittleEndian, v)
 		}
 	}
-	if _, err := cw.Write([]byte(dfaMagicV2)); err != nil {
+	magic := dfaMagicV2
+	if d.trans2 != nil {
+		magic = dfaMagicV3
+	}
+	if _, err := cw.Write([]byte(magic)); err != nil {
 		return cw.n, err
 	}
 	write(uint32(d.numStates))
@@ -81,7 +99,11 @@ func (d *DFA) WriteTo(w io.Writer) (int64, error) {
 		write(uint8(wireLayoutFlat))
 		write(uint32(d.numClasses))
 	} else {
-		write(uint8(wireLayoutClassed))
+		if d.trans2 != nil {
+			write(uint8(wireLayoutClassed2))
+		} else {
+			write(uint8(wireLayoutClassed))
+		}
 		write(uint32(d.numClasses))
 		write(d.classOf)
 		wireTrans = make([]uint32, len(d.trans))
@@ -120,6 +142,8 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 		version = 1
 	case dfaMagicV2:
 		version = 2
+	case dfaMagicV3:
+		version = 3
 	default:
 		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
 	}
@@ -147,6 +171,7 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 	}
 
 	declaredLen := int(numStates) * 256
+	wantPairs := false
 	if version >= 2 {
 		var layout uint8
 		if err := binary.Read(r, binary.LittleEndian, &layout); err != nil {
@@ -161,7 +186,13 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 			if numClasses != 256 {
 				return nil, fmt.Errorf("%w: flat layout with %d classes", ErrBadFormat, numClasses)
 			}
-		case wireLayoutClassed:
+		case wireLayoutClassed, wireLayoutClassed2:
+			if layout == wireLayoutClassed2 {
+				if version < 3 {
+					return nil, fmt.Errorf("%w: classed2 layout in a v%d stream", ErrBadFormat, version)
+				}
+				wantPairs = true
+			}
 			if numClasses == 0 || numClasses > 256 {
 				return nil, fmt.Errorf("%w: implausible class count %d", ErrBadFormat, numClasses)
 			}
@@ -233,6 +264,15 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 			return nil, fmt.Errorf("%w: accept set %d: %v", ErrBadFormat, i, err)
 		}
 		d.accepts[i] = ids
+	}
+	if wantPairs {
+		// The pair table is δ∘δ of the validated 1-byte table — rebuild
+		// rather than trust serialized bytes. A stream whose class count
+		// would blow Classed2MaxTableBytes (impossible for images this
+		// package wrote, since WriteTo only emits layout 2 when the table
+		// was buildable) degrades to the classed layout, which is
+		// match-equivalent.
+		d = d.withPairs()
 	}
 	return d, nil
 }

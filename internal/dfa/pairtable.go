@@ -1,0 +1,112 @@
+package dfa
+
+// 2-byte-stride ("classed2") transition tables. The classed hot loop is
+// still a serial dependency chain: each table load waits for the
+// previous one, so throughput is bounded by load latency, not
+// bandwidth. The pair table halves the chain length by precomputing the
+// two-step successor function δ²: a numStates × numClasses² table whose
+// entry for (state, class₁, class₂) is the state reached after
+// consuming both bytes — one dependent load per *two* input bytes.
+//
+// Entries are pre-scaled like the classed table's (next × stride2, the
+// successor's pair-row base), so the per-pair step is two adds and one
+// load with no multiply on the carried chain:
+//
+//	st2 = trans2[st2 + classOf[b1]*k + classOf[b2]]
+//
+// The classOf lookups and the c1*k multiply are off the chain — they
+// depend only on the input bytes, so the CPU resolves them while the
+// previous table load is still in flight.
+//
+// Acceptance cannot be tested only at pair boundaries: the automaton
+// may pass through an accepting state after the first byte of a pair
+// ("mid-pair"), and the match-equivalence invariant requires every
+// match at its exact byte offset. Entries whose mid state is accepting
+// carry pairAcceptFlag (bit 31); because every legitimate row base is
+// < numStates×stride2 < 2³¹ (a build precondition), a single unsigned
+// compare st2 >= acceptStart×stride2 detects *both* a flagged entry and
+// a final-accepting successor, keeping the hot loop at one compare per
+// pair. The slow path then replays the pair through the 1-byte classed
+// table — kept alongside trans2 — to emit matches at exact offsets.
+// Odd-length inputs finish with one 1-byte step on the same classed
+// table (the "tail path"); the pair walk converts to and from plain
+// state numbers at Feed boundaries, so saved contexts are always
+// whole-byte-aligned state numbers and can never resume mid-pair.
+const (
+	// pairAcceptFlag marks a pair-table entry whose intermediate state
+	// (after the pair's first byte) is accepting.
+	pairAcceptFlag = uint32(1) << 31
+
+	// Classed2MaxTableBytes caps the pair table: LayoutClassed2 requests
+	// whose table would exceed it fall back to LayoutClassed (the built
+	// DFA's Layout() reports what was actually applied). The cap also
+	// guarantees every row base fits below pairAcceptFlag. 64 MiB covers
+	// every shipped pattern set (B217p, the largest, needs ~28 MiB)
+	// while refusing pathological automata whose pair table would blow
+	// the cache hierarchy the layout exists to exploit.
+	Classed2MaxTableBytes = 64 << 20
+)
+
+// withPairs returns the classed2 form of a classed-layout DFA, adding
+// the δ² pair table alongside the 1-byte classed table (which the tail
+// and mid-pair accept paths still need). The successor function is
+// untouched, so match streams stay byte-identical. If the pair table
+// would exceed Classed2MaxTableBytes the receiver is returned
+// unchanged — i.e. the layout falls back to classed.
+func (d *DFA) withPairs() *DFA {
+	if d.trans2 != nil {
+		return d
+	}
+	k := d.numClasses
+	stride2 := k * k
+	entries := int64(d.numStates) * int64(stride2)
+	if entries*4 > Classed2MaxTableBytes || entries >= int64(pairAcceptFlag) {
+		return d
+	}
+	t2 := make([]uint32, int(entries))
+	for s := 0; s < d.numStates; s++ {
+		row := d.trans[s*k : (s+1)*k]
+		out := t2[s*stride2 : (s+1)*stride2]
+		for c1 := 0; c1 < k; c1++ {
+			midBase := int(row[c1]) // pre-scaled: midState*k
+			var flag uint32
+			if uint32(midBase/k) >= d.acceptStart {
+				flag = pairAcceptFlag
+			}
+			midRow := d.trans[midBase : midBase+k]
+			pout := out[c1*k : (c1+1)*k]
+			for c2 := 0; c2 < k; c2++ {
+				next := midRow[c2] / uint32(k)
+				pout[c2] = next*uint32(stride2) | flag
+			}
+		}
+	}
+	d2 := *d // trans, classOf, accepts are immutable and shared
+	d2.trans2 = t2
+	d2.stride2 = stride2
+	return &d2
+}
+
+// pairStepSlow replays one pair through the 1-byte classed table,
+// invoking onMatch for any accepting state visited after either byte.
+// It is the cold path behind the hot loop's single accept compare,
+// taken only when the pair ends accepting or passes through an
+// accepting mid state; it returns the resulting pair-row base. state is
+// a plain state number, pos the offset of b1.
+func (d *DFA) pairStepSlow(state uint32, b1, b2 byte, pos int64, onMatch MatchFunc) uint32 {
+	k := uint32(d.numClasses)
+	scaledAccept := d.acceptStart * k
+	midBase := d.trans[state*k+uint32(d.classOf[b1])]
+	if midBase >= scaledAccept {
+		for _, id := range d.accepts[(midBase-scaledAccept)/k] {
+			onMatch(id, pos)
+		}
+	}
+	finBase := d.trans[midBase+uint32(d.classOf[b2])]
+	if finBase >= scaledAccept {
+		for _, id := range d.accepts[(finBase-scaledAccept)/k] {
+			onMatch(id, pos+1)
+		}
+	}
+	return (finBase / k) * uint32(d.stride2)
+}

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"matchfilter/internal/core"
 	"matchfilter/internal/flow"
 	"matchfilter/internal/guard"
 	"matchfilter/internal/pcap"
@@ -74,6 +75,19 @@ type Config struct {
 	// Flow configures each shard's reassembler. Flow.MaxFlows is a
 	// per-shard cap, so the engine tracks at most Shards×MaxFlows flows.
 	Flow flow.Config
+	// BatchFlows, when > 1, switches each shard from scan-on-arrival to
+	// batched lockstep scanning (DESIGN.md §18): after dequeuing a
+	// segment the shard drains whatever else its queue already holds
+	// (bounded), defers every in-order payload into a core.FlowBatcher
+	// of this width (capped at core.MaxBatchFlows), and flushes once —
+	// stepping up to BatchFlows independent flows' DFA walks in lockstep
+	// so their transition loads overlap in the memory system. Match
+	// streams per flow are byte-identical to the sequential path; only
+	// cross-flow emission order changes (it was already nondeterministic
+	// across shards). When fewer flows are ready the batcher degrades to
+	// the plain single-flow scan. Ignored when Flow.NewBatcher is set
+	// (the caller supplied its own batcher factory).
+	BatchFlows int
 	// IdleAfter evicts flows whose last segment is more than this many
 	// segments in the past on the owning shard's clock. 0 disables
 	// idle sweeping at the normal tier (degraded tiers still sweep, see
@@ -260,6 +274,10 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 		}
 	}
 	cfg.Flow.Gauges = fg
+	if cfg.BatchFlows > 1 && cfg.Flow.NewBatcher == nil {
+		k := cfg.BatchFlows
+		cfg.Flow.NewBatcher = func() flow.Batcher { return core.NewFlowBatcher(k) }
+	}
 	e := &Engine{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
@@ -296,6 +314,7 @@ func New(cfg Config, newRunner func() flow.Runner, onMatch func(Match)) *Engine 
 			quarantined: make(map[pcap.FlowKey]struct{}),
 			evClock:     events != nil,
 			hb:          cfg.StallDeadline > 0,
+			batching:    cfg.Flow.NewBatcher != nil,
 		}
 		// Matches fire on the shard goroutine only, so the one-entry
 		// flow-string cache below needs no lock. Match-dense flows hit it

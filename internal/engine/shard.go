@@ -59,6 +59,14 @@ type shard struct {
 	// touches it.
 	quarantined map[pcap.FlowKey]struct{}
 
+	// Batched lockstep scanning (Config.BatchFlows, DESIGN.md §18).
+	// batching is set when the assembler defers in-order payload into a
+	// flow.Batcher; held parks the leased buffers of deferred segments
+	// until the flush has scanned them (the batcher references the
+	// payload bytes until then). Both are goroutine-private.
+	batching bool
+	held     []pcap.Owner
+
 	// Hot-reload plumbing (reload.go): genCmd holds the newest pending
 	// generation swap (applied on the shard goroutine before the next
 	// segment); wake nudges an idle shard so a swap is not stuck behind
@@ -146,20 +154,32 @@ func (s *shard) publish() {
 	s.snap.Store(&st)
 }
 
+// batchBurst bounds how many already-queued segments a batching shard
+// consumes per lockstep window before it flushes. The bound keeps match
+// latency and held-buffer count proportional to the queue's actual
+// backlog, never unbounded.
+const batchBurst = 256
+
+// loopState is the run loop's per-shard mutable state, shared with step
+// so the batched drain path can reuse the exact per-segment body.
+type loopState struct {
+	normalBuf   int
+	degradedBuf int
+	appliedTier Tier
+	n           int64
+}
+
 func (s *shard) run(e *Engine) {
 	defer func() {
 		s.exited.Store(true)
 		s.publish()
 		e.wg.Done()
 	}()
-	cfg := &e.cfg
-	normalBuf := s.asm.MaxBuffered()
-	degradedBuf := normalBuf / 8
-	if degradedBuf < 4 {
-		degradedBuf = 4
+	ls := &loopState{normalBuf: s.asm.MaxBuffered(), appliedTier: TierNormal}
+	ls.degradedBuf = ls.normalBuf / 8
+	if ls.degradedBuf < 4 {
+		ls.degradedBuf = 4
 	}
-	appliedTier := TierNormal
-	var n int64
 	for {
 		var q queued
 		var ok bool
@@ -169,7 +189,8 @@ func (s *shard) run(e *Engine) {
 			// Generation swap on an otherwise idle shard: apply it now
 			// rather than when the next segment happens to arrive, so a
 			// reload's gauges and reset policy take effect promptly
-			// engine-wide.
+			// engine-wide. The batch is always empty here — every lockstep
+			// window flushes before the loop blocks again.
 			s.applyGeneration(e)
 			s.applyTenantCmds()
 			continue
@@ -177,119 +198,171 @@ func (s *shard) run(e *Engine) {
 		if !ok {
 			return
 		}
-		seg := q.seg
-		if q.owner == nil && len(seg.Payload) > 0 {
-			// Withdraw what dispatch charged to the queued-bytes account
-			// (leased payloads are accounted by their arena instead).
-			e.queuedBytes.Add(-int64(len(seg.Payload)))
-		}
-		// Apply a pending swap before scanning, so every segment
-		// dispatched after Reload returned is scanned post-swap (a flow
-		// it creates starts on the new generation).
-		if s.genCmd.Load() != nil {
-			s.applyGeneration(e)
-		}
-		if s.tenantPending.Load() {
-			s.applyTenantCmds()
-		}
-		n++
-		if n%statsEvery == 0 {
-			s.publish()
-			// Shards re-evaluate pressure too, so the ladder steps back
-			// down as queues drain even when dispatch has gone quiet.
-			e.evalPressure()
-		}
-		s.processed.Add(1)
-		if s.wedged.Load() {
-			// This goroutine is demonstrably live — it is executing the
-			// loop — so a wedge mark here is residue of the narrow race
-			// where the watchdog's escalation landed just as the stuck
-			// step returned (recoverStall clears the mark in the normal
-			// order). Lift it before the unhealthy gate below can drop
-			// scannable work.
-			s.wedged.Store(false)
-			if s.panics.Load() < int64(e.cfg.CrashBudget) {
-				s.unhealthy.Store(false)
-			}
-		}
-		if s.unhealthy.Load() {
-			s.unhealthyDrops.Add(1)
-			release(q.owner)
+		s.step(e, q, ls)
+		if !s.batching {
 			continue
 		}
-		if _, bad := s.quarantined[seg.Key]; bad {
-			s.poisonedDrops.Add(1)
-			release(q.owner)
-			continue
-		}
-		if tier := Tier(e.tier.Load()); tier != appliedTier {
-			if tier >= TierSoft && appliedTier == TierNormal {
-				// Entering degradation: shed reassembly memory now and
-				// sweep idle flows aggressively.
-				s.asm.SetMaxBuffered(degradedBuf)
-				s.asm.EvictIdle(cfg.DegradedIdleAfter)
-			} else if tier == TierNormal {
-				s.asm.SetMaxBuffered(normalBuf)
-			}
-			appliedTier = tier
-		}
-		// Only payload-bearing segments are timed: they are the ones that
-		// feed the matcher (and the only ones that can raise a match
-		// event), while pure SYN/ACK/FIN bookkeeping would just pile
-		// sub-microsecond noise into the lowest bucket and pay two clock
-		// reads for it.
-		// Heartbeat for the stall watchdog: start=0, seq=n+1, start=now
-		// (the order the watchdog's race-free read depends on). Published
-		// only for payload-bearing segments — they are the ones that run
-		// matcher code and can stall.
-		var hseq int64
-		if s.hb && len(seg.Payload) > 0 {
-			s.hbStart.Store(0)
-			hseq = s.hbSeq.Add(1)
-			s.hbStart.Store(time.Now().UnixNano())
-		}
-		if len(seg.Payload) > 0 && (s.scanHist != nil || s.evClock) {
-			t0 := time.Now()
-			if s.evClock {
-				s.evNano = t0.UnixNano()
-			}
-			s.process(e, seg)
-			if s.scanHist != nil {
-				s.scanHist.ObserveDuration(time.Since(t0))
-			}
-		} else {
-			s.process(e, seg)
-		}
-		if hseq != 0 {
-			s.hbStart.Store(0)
-			if s.stalledSeq.Load() == hseq {
-				// The watchdog flagged this very step while it ran: the
-				// flow wedged the shard past the deadline and cannot be
-				// trusted again.
-				s.recoverStall(e, seg.Key)
+		// Batched lockstep window: the blocking receive above proved the
+		// queue has traffic, so drain whatever else it already holds
+		// (bounded) — each payload-bearing segment defers its scan into
+		// the batcher — then flush once, stepping all those flows'
+		// automata in lockstep. An empty queue degrades to a one-segment
+		// window: flush-per-segment, i.e. the sequential path.
+		closed := false
+		for i := 0; i < batchBurst && !closed; i++ {
+			select {
+			case q, ok = <-s.in:
+				if !ok {
+					closed = true
+					break
+				}
+				s.step(e, q, ls)
+			default:
+				closed = true
 			}
 		}
+		s.flushBatch(e)
+		for i, o := range s.held {
+			release(o)
+			s.held[i] = nil
+		}
+		s.held = s.held[:0]
+		if !ok {
+			return
+		}
+	}
+}
+
+// step consumes one dequeued segment: accounting, supervision gates,
+// degradation reactions, the scan itself (deferred into the batcher when
+// batching) and the periodic sweeps.
+func (s *shard) step(e *Engine, q queued, ls *loopState) {
+	cfg := &e.cfg
+	seg := q.seg
+	if q.owner == nil && len(seg.Payload) > 0 {
+		// Withdraw what dispatch charged to the queued-bytes account
+		// (leased payloads are accounted by their arena instead).
+		e.queuedBytes.Add(-int64(len(seg.Payload)))
+	}
+	// Apply a pending swap before scanning, so every segment
+	// dispatched after Reload returned is scanned post-swap (a flow
+	// it creates starts on the new generation). The swap paths flush
+	// the batch themselves (flow.setTenantGen), so deferred work never
+	// crosses a generation boundary.
+	if s.genCmd.Load() != nil {
+		s.applyGeneration(e)
+	}
+	if s.tenantPending.Load() {
+		s.applyTenantCmds()
+	}
+	ls.n++
+	if ls.n%statsEvery == 0 {
+		s.publish()
+		// Shards re-evaluate pressure too, so the ladder steps back
+		// down as queues drain even when dispatch has gone quiet.
+		e.evalPressure()
+	}
+	s.processed.Add(1)
+	if s.wedged.Load() {
+		// This goroutine is demonstrably live — it is executing the
+		// loop — so a wedge mark here is residue of the narrow race
+		// where the watchdog's escalation landed just as the stuck
+		// step returned (recoverStall clears the mark in the normal
+		// order). Lift it before the unhealthy gate below can drop
+		// scannable work.
+		s.wedged.Store(false)
+		if s.panics.Load() < int64(e.cfg.CrashBudget) {
+			s.unhealthy.Store(false)
+		}
+	}
+	if s.unhealthy.Load() {
+		s.unhealthyDrops.Add(1)
+		release(q.owner)
+		return
+	}
+	if _, bad := s.quarantined[seg.Key]; bad {
+		s.poisonedDrops.Add(1)
+		release(q.owner)
+		return
+	}
+	if tier := Tier(e.tier.Load()); tier != ls.appliedTier {
+		if tier >= TierSoft && ls.appliedTier == TierNormal {
+			// Entering degradation: shed reassembly memory now and
+			// sweep idle flows aggressively.
+			s.asm.SetMaxBuffered(ls.degradedBuf)
+			s.asm.EvictIdle(cfg.DegradedIdleAfter)
+		} else if tier == TierNormal {
+			s.asm.SetMaxBuffered(ls.normalBuf)
+		}
+		ls.appliedTier = tier
+	}
+	// Only payload-bearing segments are timed: they are the ones that
+	// feed the matcher (and the only ones that can raise a match
+	// event), while pure SYN/ACK/FIN bookkeeping would just pile
+	// sub-microsecond noise into the lowest bucket and pay two clock
+	// reads for it. Under batching the deferred scan is timed by
+	// flushBatch instead; this still covers reassembly plus any inline
+	// fallbacks (self-flushes, lifecycle flushes) HandleSegment runs.
+	// Heartbeat for the stall watchdog: start=0, seq=n+1, start=now
+	// (the order the watchdog's race-free read depends on). Published
+	// only for payload-bearing segments — they are the ones that run
+	// matcher code and can stall.
+	var hseq int64
+	if s.hb && len(seg.Payload) > 0 {
+		s.hbStart.Store(0)
+		hseq = s.hbSeq.Add(1)
+		s.hbStart.Store(time.Now().UnixNano())
+	}
+	if len(seg.Payload) > 0 && (s.scanHist != nil || s.evClock) {
+		t0 := time.Now()
+		if s.evClock {
+			s.evNano = t0.UnixNano()
+		}
+		s.process(e, seg)
+		if s.scanHist != nil {
+			s.scanHist.ObserveDuration(time.Since(t0))
+		}
+	} else {
+		s.process(e, seg)
+	}
+	if hseq != 0 {
+		s.hbStart.Store(0)
+		if s.stalledSeq.Load() == hseq {
+			// The watchdog flagged this very step while it ran: the
+			// flow wedged the shard past the deadline and cannot be
+			// trusted again.
+			s.recoverStall(e, seg.Key)
+		}
+	}
+	if s.batching && q.owner != nil {
+		// The payload may now sit in the batcher waiting for the flush,
+		// so the leased buffer cannot go back to its arena yet; run's
+		// drain loop releases it after flushBatch. (Held even when this
+		// particular segment was scanned inline — ownership tracking per
+		// byte would cost more than the short extra hold.)
+		s.held = append(s.held, q.owner)
+	} else {
 		// The scan is over and the assembler copied anything it buffered
 		// (out-of-order payloads are duplicated at buffering time), so
 		// the leased frame buffer can go back to its arena. process
 		// recovers its own panics, so this release runs on the poisoned
 		// path too.
 		release(q.owner)
-		idleAfter, sweepEvery := cfg.IdleAfter, cfg.SweepEvery
-		if appliedTier >= TierSoft {
-			idleAfter = cfg.DegradedIdleAfter
-			if sweepEvery = cfg.SweepEvery / 8; sweepEvery < 1 {
-				sweepEvery = 1
-			}
+	}
+	idleAfter, sweepEvery := cfg.IdleAfter, cfg.SweepEvery
+	if ls.appliedTier >= TierSoft {
+		idleAfter = cfg.DegradedIdleAfter
+		if sweepEvery = cfg.SweepEvery / 8; sweepEvery < 1 {
+			sweepEvery = 1
 		}
-		if idleAfter > 0 && n%sweepEvery == 0 {
-			s.asm.EvictIdle(idleAfter)
-		}
-		// A degraded engine must be able to step back down without new
-		// dispatches: when this shard's queue runs dry, re-check pressure.
-		if appliedTier != TierNormal && len(s.in) == 0 {
-			e.evalPressure()
-		}
+	}
+	if idleAfter > 0 && ls.n%sweepEvery == 0 {
+		s.asm.EvictIdle(idleAfter)
+	}
+	// A degraded engine must be able to step back down without new
+	// dispatches: when this shard's queue runs dry, re-check pressure.
+	if ls.appliedTier != TierNormal && len(s.in) == 0 {
+		e.evalPressure()
 	}
 }
 
@@ -301,15 +374,101 @@ func (s *shard) process(e *Engine, seg pcap.Segment) {
 			return
 		}
 		s.panics.Add(1)
-		s.quarantined[seg.Key] = struct{}{}
+		key := seg.Key
+		if k, ok := s.asm.BatchScanning().(pcap.FlowKey); ok {
+			// The panic surfaced from a deferred lockstep flush that
+			// HandleSegment itself triggered (a full batch self-flushing,
+			// or a FIN/restart flushing before a runner lifecycle event) —
+			// blame the flow whose match callback was running, not the
+			// segment that merely pulled the trigger.
+			key = k
+		}
+		s.quarantined[key] = struct{}{}
 		s.poisoned.Add(1)
-		s.excise(seg.Key)
+		s.excise(key)
 		s.publish()
 		if s.panics.Load() >= int64(e.cfg.CrashBudget) {
 			s.unhealthy.Store(true)
 		}
 	}()
 	s.asm.HandleSegment(seg)
+}
+
+// flushBatch scans every deferred payload of the current lockstep window
+// under the same supervision a single segment gets: panic quarantine
+// (attributed through the batcher's Scanning tag), stall heartbeat, and
+// the scan-latency histogram (one observation for the whole window — the
+// per-flow split does not exist once flows step in lockstep).
+func (s *shard) flushBatch(e *Engine) {
+	if s.asm.BatchLen() == 0 {
+		return
+	}
+	var hseq int64
+	if s.hb {
+		s.hbStart.Store(0)
+		hseq = s.hbSeq.Add(1)
+		s.hbStart.Store(time.Now().UnixNano())
+	}
+	var t0 time.Time
+	if s.scanHist != nil || s.evClock {
+		t0 = time.Now()
+		if s.evClock {
+			s.evNano = t0.UnixNano()
+		}
+	}
+	key, attributed := s.flushScan(e)
+	if s.scanHist != nil {
+		s.scanHist.ObserveDuration(time.Since(t0))
+	}
+	if hseq != 0 {
+		s.hbStart.Store(0)
+		if s.stalledSeq.Load() == hseq {
+			if attributed {
+				// The flush both stalled and panicked; the panic already
+				// named the flow, reuse it for the stall quarantine.
+				s.recoverStall(e, key)
+			} else {
+				// The whole window outlived the deadline but completed
+				// without naming one offender (the batcher clears its
+				// Scanning tag on normal completion), so no flow can be
+				// quarantined; count the recovery and lift the wedge —
+				// this goroutine is demonstrably live.
+				s.stallRecovered.Add(1)
+				e.lastStallRecovery.Store(time.Now().UnixNano())
+				if s.wedged.Swap(false) && s.panics.Load() < int64(e.cfg.CrashBudget) {
+					s.unhealthy.Store(false)
+				}
+				s.publish()
+			}
+		}
+	}
+}
+
+// flushScan runs the deferred flush under a recover mirroring process's:
+// the batcher empties itself even when a callback panics and keeps the
+// offending flow's tag readable, so the shard can quarantine exactly the
+// poisoned flow while every other batched flow's written-back state
+// stays good.
+func (s *shard) flushScan(e *Engine) (key pcap.FlowKey, attributed bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.panics.Add(1)
+		if k, ok := s.asm.BatchScanning().(pcap.FlowKey); ok {
+			key, attributed = k, true
+			s.quarantined[k] = struct{}{}
+			s.poisoned.Add(1)
+			s.excise(k)
+		}
+		s.publish()
+		if s.panics.Load() >= int64(e.cfg.CrashBudget) {
+			s.unhealthy.Store(true)
+		}
+	}()
+	s.asm.FlushBatch()
+	return pcap.FlowKey{}, false
 }
 
 // recoverStall handles a scan step the watchdog flagged that has now

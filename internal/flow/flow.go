@@ -35,6 +35,34 @@ type Match struct {
 	Pos  int64
 }
 
+// Batcher defers per-flow scan work so many flows can be stepped in
+// lockstep (core.FlowBatcher is the implementation; the interface keeps
+// this package engine-agnostic). The contract the assembler depends on:
+//
+//   - Add either takes ownership of data until the next Flush and
+//     returns true, or returns false, in which case the caller scans
+//     inline. Chunks Added for one runner scan in arrival order.
+//   - Flush scans everything pending and empties the batch even if a
+//     callback panics — and isolates such a panic to the offending
+//     flow's lane: sibling flows in the window still complete, then the
+//     panic re-raises with Scanning() identifying the offender, so a
+//     shard's recover path can tear down exactly that flow and carry on.
+//   - Contains reports pending work for a runner; the assembler flushes
+//     before any lifecycle event that would Reset, recycle or discard a
+//     runner Contains reports true for.
+//
+// Deferred data must stay valid until the flush: the assembler passes
+// either payload slices whose backing buffers the caller keeps alive
+// across the flush (internal/engine holds its arena leases until after
+// FlushBatch) or its own heap-copied out-of-order buffers.
+type Batcher interface {
+	Add(runner, tag any, data []byte, onMatch func(id int32, pos int64)) bool
+	Len() int
+	Flush()
+	Scanning() any
+	Contains(runner any) bool
+}
+
 // Config bounds the reassembler.
 type Config struct {
 	// MaxBufferedSegments caps out-of-order segments held per flow;
@@ -49,6 +77,12 @@ type Config struct {
 	// The gauges are atomics, so they may be read from any goroutine and
 	// shared between assemblers; see gauges.go.
 	Gauges *Gauges
+	// NewBatcher, when non-nil, supplies a Batcher per assembler and
+	// switches in-order payload delivery from scan-on-arrival to
+	// deferred batched lockstep scanning. Callers that hand the
+	// assembler transient payload buffers must then keep them alive
+	// until FlushBatch returns.
+	NewBatcher func() Batcher
 }
 
 // Assembler demultiplexes TCP segments into flows, restores byte order,
@@ -72,7 +106,14 @@ type Assembler struct {
 	tenants map[uint32]*tenantState
 	gens    map[uint64]*genState // generations with live flows (plus currents)
 	onMatch func(Match)
-	now     int64 // logical clock: segments handled so far
+	// batch, when non-nil, receives in-order payload for deferred
+	// lockstep scanning instead of the immediate per-segment Feed. Every
+	// runner-lifecycle path (teardown, restart, quarantine, generation
+	// and tenant swaps) flushes first when the affected runner has
+	// pending work, so a deferred scan can never run against a reset,
+	// recycled or reassigned runner.
+	batch Batcher
+	now   int64 // logical clock: segments handled so far
 	// Stats.
 	packets       int64
 	payloadBytes  int64
@@ -98,10 +139,14 @@ type Assembler struct {
 const maxFreeRunners = 4096
 
 type flowCtx struct {
-	key      pcap.FlowKey
-	runner   Runner
-	ten      *tenantState // tenant the flow is served under (def for tag 0)
-	gen      *genState    // generation the runner was built for
+	key    pcap.FlowKey
+	runner Runner
+	ten    *tenantState // tenant the flow is served under (def for tag 0)
+	gen    *genState    // generation the runner was built for
+	// cb is the flow's match callback, built once at flow creation so
+	// neither the scan-on-arrival path nor the batcher allocates a
+	// closure per segment.
+	cb       func(id int32, pos int64)
 	nextSeq  uint32
 	started  bool
 	lastSeen int64 // assembler clock at the flow's latest segment
@@ -130,6 +175,9 @@ func NewAssembler(cfg Config, newRunner func() Runner, onMatch func(Match)) *Ass
 	a.def = &tenantState{}
 	a.def.cur = &genState{gen: Generation{ID: 0, New: newRunner}, owner: a.def}
 	a.gens = map[uint64]*genState{0: a.def.cur}
+	if cfg.NewBatcher != nil {
+		a.batch = cfg.NewBatcher()
+	}
 	if g := cfg.Gauges; g != nil {
 		a.gLive.g = g.LiveFlows
 		a.gPending.g = g.PendingSegments
@@ -241,6 +289,7 @@ func (a *Assembler) HandleSegment(seg pcap.Segment) {
 			ten:     ts,
 			runner:  a.getRunner(ts),
 			gen:     ts.cur,
+			cb:      a.matchCB(seg.Key),
 			pending: make(map[uint32][]byte),
 		}
 		ctx.elem = a.lru.PushFront(ctx)
@@ -304,6 +353,7 @@ func (a *Assembler) getRunner(ts *tenantState) Runner {
 // belongs to a superseded generation, in which case it is discarded
 // (counted in Stats.StaleRunners) so it can never serve a new flow.
 func (a *Assembler) removeFlow(ctx *flowCtx) {
+	a.flushIfBatched(ctx.runner)
 	delete(a.flows, ctx.key)
 	a.lru.Remove(ctx.elem)
 	a.releaseFlowGauges(ctx)
@@ -327,6 +377,7 @@ func (a *Assembler) removeFlow(ctx *flowCtx) {
 // previous connection's buffered out-of-order segments are discarded
 // with their gauge contribution withdrawn.
 func (a *Assembler) restartFlow(ctx *flowCtx) {
+	a.flushIfBatched(ctx.runner)
 	a.flowRestarts++
 	if len(ctx.pending) > 0 {
 		a.gPending.add(-int64(len(ctx.pending)))
@@ -370,6 +421,10 @@ func (a *Assembler) DropFlow(key pcap.FlowKey) bool {
 	if !ok {
 		return false
 	}
+	// A post-panic batch is already empty (Flush empties even when a
+	// callback panics), so this only fires on administrative drops of a
+	// healthy flow with deferred payload.
+	a.flushIfBatched(ctx.runner)
 	delete(a.flows, key)
 	a.lru.Remove(ctx.elem)
 	a.releaseFlowGauges(ctx)
@@ -515,13 +570,56 @@ func (a *Assembler) deliver(key pcap.FlowKey, ctx *flowCtx, seq uint32, payload 
 func (a *Assembler) feed(key pcap.FlowKey, ctx *flowCtx, data []byte) {
 	ctx.nextSeq += uint32(len(data))
 	a.payloadBytes += int64(len(data))
-	if a.onMatch == nil {
-		ctx.runner.Feed(data, func(int32, int64) {})
-		return
+	if a.batch != nil && a.batch.Add(ctx.runner, ctx.key, data, ctx.cb) {
+		return // deferred: scanned in lockstep at the next flush
 	}
-	ctx.runner.Feed(data, func(id int32, pos int64) {
+	ctx.runner.Feed(data, ctx.cb)
+}
+
+// matchCB builds a flow's per-match callback once, at flow creation.
+func (a *Assembler) matchCB(key pcap.FlowKey) func(id int32, pos int64) {
+	if a.onMatch == nil {
+		return func(int32, int64) {}
+	}
+	return func(id int32, pos int64) {
 		a.onMatch(Match{Flow: key, ID: id, Pos: pos})
-	})
+	}
+}
+
+// FlushBatch scans all deferred payload now. It is a no-op without a
+// configured Batcher. Callers that lease payload buffers to the
+// assembler may reclaim them once this returns.
+func (a *Assembler) FlushBatch() {
+	if a.batch != nil {
+		a.batch.Flush()
+	}
+}
+
+// BatchLen reports how many flows currently have deferred payload.
+func (a *Assembler) BatchLen() int {
+	if a.batch == nil {
+		return 0
+	}
+	return a.batch.Len()
+}
+
+// BatchScanning exposes the batcher's Scanning tag (the pcap.FlowKey of
+// the flow whose callback is running) for panic attribution in shard
+// recover paths; nil when no flush is in progress.
+func (a *Assembler) BatchScanning() any {
+	if a.batch == nil {
+		return nil
+	}
+	return a.batch.Scanning()
+}
+
+// flushIfBatched flushes deferred work before a lifecycle event on
+// ctx.runner (teardown, restart, quarantine), so the batcher never
+// scans a reset or recycled runner.
+func (a *Assembler) flushIfBatched(r Runner) {
+	if a.batch != nil && a.batch.Contains(r) {
+		a.batch.Flush()
+	}
 }
 
 // seqAfter reports whether a is after b in 32-bit sequence space.
@@ -558,5 +656,6 @@ func ScanPcap(r io.Reader, cfg Config, newRunner func() Runner, onMatch func(Mat
 			return a.Stats(), fmt.Errorf("flow: %w", err)
 		}
 	}
+	a.FlushBatch()
 	return a.Stats(), nil
 }

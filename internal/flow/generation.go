@@ -65,6 +65,10 @@ func (a *Assembler) setTenantGen(ts *tenantState, g Generation, resetExisting bo
 	if ts.cur != nil && g.ID == ts.cur.gen.ID {
 		return 0
 	}
+	// Deferred scans must not outlive the runners they reference: a
+	// resetExisting swap replaces runners wholesale, and even a draining
+	// swap recycles through a free list this call is about to empty.
+	a.FlushBatch()
 	for i := range ts.free {
 		ts.free[i] = nil
 	}

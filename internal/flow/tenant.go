@@ -139,6 +139,8 @@ func (a *Assembler) DropTenant(ten uint32) int {
 	if ts == nil {
 		return 0
 	}
+	// Scan what's pending before the tenant's runners are discarded.
+	a.FlushBatch()
 	n := 0
 	for _, ctx := range a.flows {
 		if ctx.ten != ts {
