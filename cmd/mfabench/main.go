@@ -37,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, layout, engine, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table5, fig2, fig3, fig4, fig5, active, prefilter, layout, counters, engine, all")
 	setsFlag := flag.String("sets", "", "comma-separated pattern sets (default: all seven)")
 	scale := flag.Float64("scale", 0.25, "trace size scale for fig4 and engine")
 	bytesN := flag.Int("bytes", 1<<20, "stream length per measurement for fig5")
@@ -82,6 +82,22 @@ func run() error {
 			return err
 		}
 		report.AddLayout(rows)
+		fmt.Fprintln(out)
+	}
+
+	if wants("counters") {
+		// The counter experiment runs its own sets (the CTR family) —
+		// the Table V sets carry no bounded repeats — so -sets only
+		// applies when it names CTR sets explicitly.
+		ctrSets := sets
+		if *exp == "all" {
+			ctrSets = nil
+		}
+		rows, err := bench.CounterComparison(out, ctrSets, *bytesN, *seed)
+		if err != nil {
+			return err
+		}
+		report.AddCounters(rows)
 		fmt.Fprintln(out)
 	}
 

@@ -61,6 +61,7 @@ func run() (int, error) {
 	strict := flag.Bool("strict", false, "abort on the first malformed frame or record (exit code 2) instead of skip-and-count")
 	quiet := flag.Bool("q", false, "suppress per-match lines, print only the summary")
 	statsJSON := flag.String("stats-json", "", "write final scan stats as JSON to this file (- for stdout)")
+	counters := flag.Bool("counters", false, "compile large bounded repeats X{n,m} to filter counter registers instead of state expansion")
 	flag.Parse()
 
 	var m *core.MFA
@@ -89,7 +90,9 @@ func run() (int, error) {
 			return exitError, err
 		}
 		sources = srcs
-		m, err = core.Compile(rules, core.Options{})
+		var opts core.Options
+		opts.Splitter.EnableCounters = *counters
+		m, err = core.Compile(rules, opts)
 		if err != nil {
 			return exitError, err
 		}

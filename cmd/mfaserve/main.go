@@ -168,6 +168,7 @@ func run() (int, error) {
 	adminAddr := flag.String("admin", "", "serve the admin HTTP surface (/metrics, /statsz, /healthz, /events, /reload, pprof) on this address, e.g. :9090 (empty = off)")
 	eventsCap := flag.Int("events", 1024, "match-event ring capacity served by /events")
 	reloadPolicy := flag.String("reload-policy", "drain", "in-flight flows on a pattern hot reload: drain (finish on the old generation) or reset (restart matching on the new one)")
+	countersFlag := flag.Bool("counters", false, "compile large bounded repeats X{n,m} to filter counter registers instead of state expansion (applies to -set/-rules, hot reloads and tenant rule sets)")
 	flag.Parse()
 
 	policy, err := engine.ParseReloadPolicy(*reloadPolicy)
@@ -177,6 +178,7 @@ func run() (int, error) {
 	if buildLayout, err = dfa.ParseLayout(*layoutFlag); err != nil {
 		return exitError, err
 	}
+	buildCounters = *countersFlag
 	var memLimit int64
 	if *maxMemory != "" {
 		if memLimit, err = parseBytes(*maxMemory); err != nil {
@@ -703,8 +705,15 @@ func parseTenantSpec(spec string) (tenantInstall, error) {
 // with.
 var buildLayout dfa.Layout
 
+// buildCounters mirrors buildLayout for the counter-register extension
+// (-counters): every compile in this process — startup set, hot reloads,
+// tenant rule sets — shares the same bounded-repeat encoding.
+var buildCounters bool
+
 func buildOptions() core.Options {
-	return core.Options{DFA: dfa.Options{Layout: buildLayout}}
+	opts := core.Options{DFA: dfa.Options{Layout: buildLayout}}
+	opts.Splitter.EnableCounters = buildCounters
+	return opts
 }
 
 // compileRules is the tenant rule-set gate: parse the rule text, compile
@@ -840,6 +849,7 @@ func registerBuildMetrics(reg *telemetry.Registry, cur func() core.BuildStats) {
 	g("mfa_build_dfa_classes", "byte equivalence classes of the transition table (256 = flat)", func(st core.BuildStats) int { return st.DFAClasses })
 	g("mfa_build_image_bytes", "total static memory image (DFA + filter program)", func(st core.BuildStats) int { return st.MemoryImageBytes() })
 	g("mfa_build_mem_bits", "per-flow filter memory width w", func(st core.BuildStats) int { return st.MemBits })
+	g("mfa_build_counters", "filter counter registers compiled from bounded repeats", func(st core.BuildStats) int { return st.Counters })
 	// Info-style metric: the layout name rides in the label, value is 1
 	// on the serving layout's series. All layouts are registered so the
 	// series set is stable across reloads that change layout.

@@ -2,6 +2,7 @@ package matchfilter_test
 
 import (
 	"fmt"
+	"strings"
 
 	"matchfilter"
 )
@@ -62,4 +63,20 @@ func ExampleWithCountingGaps() {
 	// Output:
 	// near: 0
 	// far:  1
+}
+
+func ExampleWithBoundedRepeatCounters() {
+	// A bounded-distance constraint (Snort's distance/within): MSG2
+	// between 8 and 40 bytes after MSG1. The 40-wide window would cost
+	// thousands of expanded DFA states; a counter register costs none.
+	engine := matchfilter.MustCompile([]string{"MSG1.{8,40}MSG2"},
+		matchfilter.WithBoundedRepeatCounters())
+	fmt.Println("near:", len(engine.Scan([]byte("MSG1..MSG2"))))
+	fmt.Println("mid: ", len(engine.Scan([]byte("MSG1........MSG2"))))
+	far := "MSG1" + strings.Repeat(".", 41) + "MSG2"
+	fmt.Println("far: ", len(engine.Scan([]byte(far))))
+	// Output:
+	// near: 0
+	// mid:  1
+	// far:  0
 }

@@ -39,8 +39,11 @@ func FuzzCompileScan(f *testing.F) {
 	f.Add(`a[^\n]*b`, "a...b\na\nb")
 	f.Add("^hdr", "hdr payload")
 	f.Add(".{3,}x", "....x")
+	f.Add("ab.{3,9}cd", "ab....cd")
+	f.Add(`ab[^x]{2,20}cd`, "ab....cd ab.x.cd")
 	f.Fuzz(func(t *testing.T, pattern, input string) {
-		e, err := Compile([]string{pattern}, WithCountingGaps(), WithMaxStates(2000))
+		e, err := Compile([]string{pattern},
+			WithCountingGaps(), WithBoundedRepeatCounters(), WithMaxStates(2000))
 		if err != nil {
 			return
 		}

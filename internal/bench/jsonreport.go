@@ -45,6 +45,18 @@ type JSONRow struct {
 	TableBytes int    `json:"table_bytes,omitempty"`
 	Classes    int    `json:"classes,omitempty"`
 	BatchK     *int   `json:"batch_k,omitempty"`
+
+	// Counter-experiment columns (experiment "counters"): the
+	// bounded-repeat encoding under measurement ("expanded" or
+	// "counters"), automaton and image sizes, the number of counter
+	// registers, and build time. Failed marks an expansion that exceeded
+	// the DFA state budget — such rows carry no sizes or throughput.
+	Mode        string `json:"mode,omitempty"`
+	States      int    `json:"states,omitempty"`
+	ImageBytes  int    `json:"image_bytes,omitempty"`
+	Counters    int    `json:"counters,omitempty"`
+	BuildTimeNs int64  `json:"build_time_ns,omitempty"`
+	Failed      bool   `json:"failed,omitempty"`
 }
 
 // JSONReport accumulates rows across the experiments of one mfabench run
@@ -156,6 +168,30 @@ func (r *JSONReport) AddLayout(results []LayoutResult) {
 			row.BatchK = &k
 			r.Rows = append(r.Rows, row)
 		}
+	}
+}
+
+// AddCounters appends bounded-repeat experiment rows (experiment
+// "counters"): one row per (set, encoding), including the Failed row of
+// an expansion-infeasible set.
+func (r *JSONReport) AddCounters(results []CounterResult) {
+	for _, cr := range results {
+		var row JSONRow
+		if cr.Failed {
+			// No measurement happened: a zero Throughput would derive
+			// NaN columns (0/0), which JSON cannot carry.
+			row = JSONRow{Experiment: "counters", Set: cr.Set}
+		} else {
+			row = r.throughputRow("counters", cr.Set, cr.Throughput)
+		}
+		row.Engine = EngineMFA.String()
+		row.Mode = cr.Mode
+		row.States = cr.States
+		row.ImageBytes = cr.ImageBytes
+		row.Counters = cr.Counters
+		row.BuildTimeNs = cr.BuildTime.Nanoseconds()
+		row.Failed = cr.Failed
+		r.Rows = append(r.Rows, row)
 	}
 }
 

@@ -294,7 +294,7 @@ func (b *FlowBatcher) acceptScaled(la *batchLane, st uint32, pos int64) {
 	r := la.r
 	m := r.mfa
 	for _, id := range m.accepts[(st-la.scaledAccept)/la.k] {
-		if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos); ok {
+		if ruleID, ok := m.prog.ApplyAll(r.mem, r.regs, r.ctrs, id, pos); ok {
 			la.cb(ruleID, pos)
 		}
 	}
@@ -659,7 +659,7 @@ func (b *FlowBatcher) oddAccept(la *batchLane, base uint32, pos int64) {
 	r := la.r
 	m := r.mfa
 	for _, id := range m.accepts[(base-la.scaledAccept)/la.k] {
-		if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos); ok {
+		if ruleID, ok := m.prog.ApplyAll(r.mem, r.regs, r.ctrs, id, pos); ok {
 			la.cb(ruleID, pos)
 		}
 	}

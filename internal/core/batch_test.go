@@ -227,8 +227,8 @@ func TestBatcherWriteBackState(t *testing.T) {
 		for fi, input := range inputs {
 			seq := m.NewRunner()
 			seq.Feed(input, func(int32, int64) {})
-			bs, _, _ := batched[fi].Context()
-			ss, _, _ := seq.Context()
+			bs, _, _, _ := batched[fi].Context()
+			ss, _, _, _ := seq.Context()
 			if bs != ss || batched[fi].Pos() != seq.Pos() {
 				t.Fatalf("layout %v flow %d: batched context (%d,%d) != sequential (%d,%d)",
 					layout, fi, bs, batched[fi].Pos(), ss, seq.Pos())

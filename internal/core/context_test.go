@@ -32,21 +32,21 @@ func TestSetContextRejectsCorrupt(t *testing.T) {
 		call func(r *Runner) error
 	}{
 		{"state out of range", func(r *Runner) error {
-			return r.SetContext(states, nil, nil, 0)
+			return r.SetContext(states, nil, nil, nil, 0)
 		}},
 		{"state far out of range", func(r *Runner) error {
-			return r.SetContext(^uint32(0), nil, nil, 0)
+			return r.SetContext(^uint32(0), nil, nil, nil, 0)
 		}},
 		{"negative position", func(r *Runner) error {
-			return r.SetContext(0, nil, nil, -1)
+			return r.SetContext(0, nil, nil, nil, -1)
 		}},
 		{"oversized memory", func(r *Runner) error {
-			_, mem, _ := r.Context()
-			return r.SetContext(0, append(mem, 0), nil, 0)
+			_, mem, _, _ := r.Context()
+			return r.SetContext(0, append(mem, 0), nil, nil, 0)
 		}},
 		{"oversized registers", func(r *Runner) error {
-			_, _, regs := r.Context()
-			return r.SetContext(0, nil, append(regs, 0), 0)
+			_, _, regs, _ := r.Context()
+			return r.SetContext(0, nil, append(regs, 0), nil, 0)
 		}},
 	}
 	for _, tc := range cases {
@@ -67,8 +67,8 @@ func TestSetContextRejectsCorrupt(t *testing.T) {
 	// A context a runner actually produced is always accepted.
 	r := m.NewRunner()
 	r.Feed([]byte("attack at"), nil)
-	state, mem, regs := r.Context()
-	if err := m.NewRunner().SetContext(state, mem, regs, r.Pos()); err != nil {
+	state, mem, regs, ctrs := r.Context()
+	if err := m.NewRunner().SetContext(state, mem, regs, ctrs, r.Pos()); err != nil {
 		t.Fatalf("genuine context rejected: %v", err)
 	}
 }
@@ -86,8 +86,8 @@ func TestSetContextClearsStaleState(t *testing.T) {
 	// Restore a start-of-flow context (fresh runner's own snapshot, with
 	// nil mem — the sparse spelling of "all zero").
 	fresh := m.NewRunner()
-	state, _, _ := fresh.Context()
-	if err := r.SetContext(state, nil, nil, 0); err != nil {
+	state, _, _, _ := fresh.Context()
+	if err := r.SetContext(state, nil, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if evs := feedEvents(r, []byte("cd")); len(evs) != 0 {
@@ -108,8 +108,8 @@ func TestSetContextClearsStaleRegisters(t *testing.T) {
 	r.Feed([]byte("aaxxxxx"), nil) // register armed, gap satisfied
 
 	fresh := m.NewRunner()
-	state, _, _ := fresh.Context()
-	if err := r.SetContext(state, nil, nil, 0); err != nil {
+	state, _, _, _ := fresh.Context()
+	if err := r.SetContext(state, nil, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if evs := feedEvents(r, []byte("bb")); len(evs) != 0 {
@@ -145,14 +145,14 @@ func TestCrossLayoutContextRoundTrip(t *testing.T) {
 			// One runner scans the whole input on the source layout...
 			cont := lo.src.NewRunner()
 			cont.Feed(input[:half], func(int32, int64) {})
-			state, mem, regs := cont.Context()
+			state, mem, regs, ctrs := cont.Context()
 			pos := cont.Pos()
 			wantTail := feedEvents(cont, input[half:])
 
 			// ...and a runner on the destination layout picks up its
 			// mid-stream context. The tail streams must be identical.
 			moved := lo.dst.NewRunner()
-			if err := moved.SetContext(state, mem, regs, pos); err != nil {
+			if err := moved.SetContext(state, mem, regs, ctrs, pos); err != nil {
 				t.Fatal(err)
 			}
 			gotTail := feedEvents(moved, input[half:])

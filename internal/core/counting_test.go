@@ -198,7 +198,7 @@ func TestCountingContextRoundTrip(t *testing.T) {
 	var got []event
 	collect := func(id int32, pos int64) { got = append(got, event{id, pos}) }
 	r.Feed([]byte("aa.."), collect)
-	state, mem, regs := r.Context()
+	state, mem, regs, ctrs := r.Context()
 	pos := r.Pos()
 
 	r.Reset()
@@ -206,7 +206,7 @@ func TestCountingContextRoundTrip(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("fresh flow must not match: %v", got)
 	}
-	if err := r.SetContext(state, mem, regs, pos); err != nil {
+	if err := r.SetContext(state, mem, regs, ctrs, pos); err != nil {
 		t.Fatal(err)
 	}
 	r.Feed([]byte(".bb"), collect)

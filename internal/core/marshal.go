@@ -90,6 +90,7 @@ func readMFA(r io.Reader) (*MFA, error) {
 			DFAStates:     d.NumStates(),
 			MemBits:       prog.MemBits(),
 			PosRegs:       prog.NumRegs(),
+			Counters:      prog.NumCounters(),
 			InternalIDs:   prog.NumIDs() - 1,
 			DFABytes:      d.MemoryImageBytes(),
 			FilterBytes:   prog.MemoryImageBytes(),

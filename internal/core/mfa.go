@@ -59,6 +59,7 @@ type BuildStats struct {
 	DFAStates    int // the "MFA Qs" column of Table V
 	MemBits      int // w
 	PosRegs      int // counting-extension position registers
+	Counters     int // counter registers of the bounded-repeat extension
 	InternalIDs  int // |Di|
 	// BuildTime is the wall-clock construction time (Figure 3).
 	BuildTime time.Duration
@@ -168,6 +169,7 @@ func Compile(rules []Rule, opts Options) (*MFA, error) {
 			DFAStates:    d.NumStates(),
 			MemBits:      res.MemBits,
 			PosRegs:      res.NumRegs,
+			Counters:     prog.NumCounters(),
 			InternalIDs:  prog.NumIDs() - 1,
 			BuildTime:    time.Since(startAll),
 			SplitTime:    splitTime,
@@ -192,13 +194,15 @@ func (m *MFA) Program() *filter.Program { return m.prog }
 func (m *MFA) DFA() *dfa.DFA { return m.engine.DFA() }
 
 // Runner is one flow's matching context: the (q, m) pair of §III-B, plus
-// the position registers of the counting extension when the pattern set
-// uses it.
+// the position registers of the counting extension and the counter
+// registers of the bounded-repeat extension when the pattern set uses
+// them.
 type Runner struct {
 	mfa  *MFA
 	dfa  *dfa.Runner
 	mem  filter.Memory
 	regs filter.Registers
+	ctrs filter.Counters
 }
 
 // NewRunner returns a runner positioned at the start of a fresh flow,
@@ -209,6 +213,7 @@ func (m *MFA) NewRunner() *Runner {
 		dfa:  m.engine.NewRunner(),
 		mem:  m.prog.NewMemory(),
 		regs: m.prog.NewRegisters(),
+		ctrs: m.prog.NewCounters(),
 	}
 }
 
@@ -217,17 +222,19 @@ func (r *Runner) Reset() {
 	r.dfa.Reset()
 	r.mem.Reset()
 	r.regs.Reset()
+	r.ctrs.Reset()
 }
 
 // Pos returns the number of bytes consumed so far.
 func (r *Runner) Pos() int64 { return r.dfa.Pos() }
 
 // Context returns the flow's saved state: the DFA state and copies of the
-// filter memory and position registers (regs is nil when the pattern set
-// uses no counting gaps). Together with Pos these fully capture parsing
-// state, so multiplexed flows need only store this tuple (§III-B).
-func (r *Runner) Context() (state uint32, mem filter.Memory, regs filter.Registers) {
-	return r.dfa.State(), r.mem.Clone(), r.regs.Clone()
+// filter memory, position registers and counter state (regs and ctrs are
+// nil when the pattern set uses no counting gaps or counters). Together
+// with Pos these fully capture parsing state, so multiplexed flows need
+// only store this tuple (§III-B).
+func (r *Runner) Context() (state uint32, mem filter.Memory, regs filter.Registers, ctrs filter.Counters) {
+	return r.dfa.State(), r.mem.Clone(), r.regs.Clone(), r.ctrs.Clone()
 }
 
 // ErrBadContext is returned (wrapped) by SetContext when a saved flow
@@ -235,27 +242,35 @@ func (r *Runner) Context() (state uint32, mem filter.Memory, regs filter.Registe
 var ErrBadContext = errors.New("core: invalid flow context")
 
 // SetContext restores a previously saved flow context, validating it
-// first: a DFA state outside the automaton, a negative position, or
-// memory/register images wider than this automaton's are rejected with
-// an error wrapping ErrBadContext and the runner Reset to start-of-flow
-// — a corrupted or cross-generation context must never reach the
-// inlined Feed loop, where an out-of-range state would index the
-// transition table out of bounds and panic. Shorter or nil memory and
-// register images are accepted as zero-extended: the runner's own state
-// is Reset before copying, so stale bits from its previous flow cannot
-// survive into the restored one.
-func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registers, pos int64) error {
+// first: a DFA state outside the automaton, a negative position,
+// memory/register/counter images wider than this automaton's, or a
+// counter base outside [0, pos] are rejected with an error wrapping
+// ErrBadContext and the runner Reset to start-of-flow — a corrupted or
+// cross-generation context must never reach the inlined Feed loop, where
+// an out-of-range state would index the transition table out of bounds
+// and panic, and a counter based beyond the restore position would break
+// the record path's window arithmetic. Shorter or nil memory, register
+// and counter images are accepted as zero-extended: the runner's own
+// state is Reset before copying, so stale bits from its previous flow
+// cannot survive into the restored one.
+func (r *Runner) SetContext(state uint32, mem filter.Memory, regs filter.Registers, ctrs filter.Counters, pos int64) error {
 	if state >= uint32(r.mfa.stats.DFAStates) || pos < 0 ||
-		len(mem) > len(r.mem) || len(regs) > len(r.regs) {
+		len(mem) > len(r.mem) || len(regs) > len(r.regs) || len(ctrs) > len(r.ctrs) {
 		r.Reset()
-		return fmt.Errorf("%w: state %d (of %d), pos %d, mem %d/%d words, regs %d/%d",
+		return fmt.Errorf("%w: state %d (of %d), pos %d, mem %d/%d words, regs %d/%d, ctrs %d/%d",
 			ErrBadContext, state, r.mfa.stats.DFAStates, pos,
-			len(mem), len(r.mem), len(regs), len(r.regs))
+			len(mem), len(r.mem), len(regs), len(r.regs), len(ctrs), len(r.ctrs))
+	}
+	if err := r.mfa.prog.ValidateCounters(ctrs, pos); err != nil {
+		r.Reset()
+		return fmt.Errorf("%w: %v", ErrBadContext, err)
 	}
 	r.mem.Reset()
 	copy(r.mem, mem)
 	r.regs.Reset()
 	copy(r.regs, regs)
+	r.ctrs.Reset()
+	copy(r.ctrs, ctrs)
 	r.dfa.SetState(state, pos)
 	return nil
 }
@@ -276,6 +291,7 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 	prog := m.prog
 	mem := r.mem
 	regs := r.regs
+	ctrs := r.ctrs
 	trans := m.trans
 	acceptStart := m.acceptStart
 	state := r.dfa.State()
@@ -300,7 +316,7 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 			base := trans[state*k+uint32(classOf[data[n]])]
 			if base >= acceptStart*k {
 				for _, id := range m.accepts[(base-acceptStart*k)/k] {
-					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+					if ruleID, ok := prog.ApplyAll(mem, regs, ctrs, id, pos); ok {
 						onMatch(ruleID, pos)
 					}
 				}
@@ -319,7 +335,7 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 			st = trans[st+uint32(classOf[data[i]])]
 			if st >= scaledAccept {
 				for _, id := range m.accepts[(st-scaledAccept)/k] {
-					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+					if ruleID, ok := prog.ApplyAll(mem, regs, ctrs, id, pos); ok {
 						onMatch(ruleID, pos)
 					}
 				}
@@ -332,7 +348,7 @@ func (r *Runner) Feed(data []byte, onMatch MatchFunc) {
 			state = trans[int(state)<<8|int(data[i])]
 			if state >= acceptStart {
 				for _, id := range m.accepts[state-acceptStart] {
-					if ruleID, ok := prog.ApplyAt(mem, regs, id, pos); ok {
+					if ruleID, ok := prog.ApplyAll(mem, regs, ctrs, id, pos); ok {
 						onMatch(ruleID, pos)
 					}
 				}
@@ -355,7 +371,7 @@ func (r *Runner) pairSlow(state uint32, b1, b2 byte, pos int64, onMatch MatchFun
 	midBase := m.trans[state*k+uint32(m.classOf[b1])]
 	if midBase >= scaledAccept {
 		for _, id := range m.accepts[(midBase-scaledAccept)/k] {
-			if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos); ok {
+			if ruleID, ok := m.prog.ApplyAll(r.mem, r.regs, r.ctrs, id, pos); ok {
 				onMatch(ruleID, pos)
 			}
 		}
@@ -363,7 +379,7 @@ func (r *Runner) pairSlow(state uint32, b1, b2 byte, pos int64, onMatch MatchFun
 	finBase := m.trans[midBase+uint32(m.classOf[b2])]
 	if finBase >= scaledAccept {
 		for _, id := range m.accepts[(finBase-scaledAccept)/k] {
-			if ruleID, ok := m.prog.ApplyAt(r.mem, r.regs, id, pos+1); ok {
+			if ruleID, ok := m.prog.ApplyAll(r.mem, r.regs, r.ctrs, id, pos+1); ok {
 				onMatch(ruleID, pos+1)
 			}
 		}

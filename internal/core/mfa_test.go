@@ -359,14 +359,14 @@ func TestRunnerStreamingAndContext(t *testing.T) {
 	r.Reset()
 	got = nil
 	r.Feed([]byte("abc"), collect)
-	state, mem, regs := r.Context()
+	state, mem, regs, ctrs := r.Context()
 	pos := r.Pos()
 	r.Reset()
 	r.Feed([]byte("xyz"), collect) // fresh flow: no match
 	if len(got) != 0 {
 		t.Fatalf("fresh flow must not match: %v", got)
 	}
-	if err := r.SetContext(state, mem, regs, pos); err != nil {
+	if err := r.SetContext(state, mem, regs, ctrs, pos); err != nil {
 		t.Fatal(err)
 	}
 	r.Feed([]byte("xyz"), collect) // restored flow: match

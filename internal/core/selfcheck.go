@@ -11,7 +11,11 @@
 
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"matchfilter/internal/filter"
+)
 
 // selfCheckBytes is the built-in trace length. Large enough to push a
 // runner through many states (including accept paths for protocol-ish
@@ -65,13 +69,13 @@ func (m *MFA) SelfCheck() (err error) {
 		}
 	}
 	r.Feed(data[:half], collect(&full))
-	state, mem, regs := r.Context()
+	state, mem, regs, ctrs := r.Context()
 	pos := r.Pos()
 	headMatches := len(full)
 	r.Feed(data[half:], collect(&full))
 
 	r2 := m.NewRunner()
-	if err := r2.SetContext(state, mem, regs, pos); err != nil {
+	if err := r2.SetContext(state, mem, regs, ctrs, pos); err != nil {
 		return fmt.Errorf("core: self-check: restoring a just-saved context: %w", err)
 	}
 	var tail []MatchEvent
@@ -88,8 +92,18 @@ func (m *MFA) SelfCheck() (err error) {
 		}
 	}
 
-	if err := m.NewRunner().SetContext(uint32(m.stats.DFAStates), nil, nil, 0); err == nil {
+	if err := m.NewRunner().SetContext(uint32(m.stats.DFAStates), nil, nil, nil, 0); err == nil {
 		return fmt.Errorf("core: self-check: out-of-range context was not rejected")
+	}
+	if n := m.prog.CountersLen(); n > 0 {
+		// A counter image claiming a base beyond the restore position must
+		// be rejected — it would break the record path's window arithmetic
+		// in the hot loop.
+		bad := make(filter.Counters, n)
+		bad[0] = 1 // base = 1, restored at pos 0
+		if err := m.NewRunner().SetContext(0, nil, nil, bad, 0); err == nil {
+			return fmt.Errorf("core: self-check: future-based counter context was not rejected")
+		}
 	}
 	return nil
 }

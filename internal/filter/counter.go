@@ -1,0 +1,251 @@
+package filter
+
+import "fmt"
+
+// Counter registers (DESIGN.md §19) extend the filter machine so that
+// bounded gaps A X{n,m} B compile to per-flow counters instead of
+// duplicated automaton states. The ISSUE-level op vocabulary — `inc c`,
+// `test c>=n / c<=m`, `reset c` — is realized positionally: a counter
+// holds the set of positions ("witnesses") where its recording fragment
+// matched, each byte of traffic implicitly increments every witness's
+// age, `test` asks whether any witness's age lies in [MinGap, MaxGap],
+// and `reset` kills witnesses invalidated by a forbidden gap byte.
+//
+// A single scalar counter cannot reproduce exact regex semantics here:
+// keeping only the earliest witness fails once it ages past MaxGap while
+// a younger witness still qualifies, and keeping only the latest misses
+// an older witness that already satisfies MinGap. Each counter therefore
+// stores a base position plus a sliding bitmap of recent witnesses —
+// bounded by the counter's MaxGap, so the per-flow cost is
+// ceil((MaxGap+1)/64)+1 words of bitmap plus one base word.
+
+// NoCtr marks an unused counter slot in an Action. Counters are numbered
+// from 1, like position registers, so the zero value means "unused" and
+// pre-counter Action literals remain valid.
+const NoCtr = 0
+
+// MaxCounterGap bounds a counter's MaxGap. It caps the per-flow bitmap at
+// 66 words and, at decode time, keeps a hostile stream from declaring
+// counters whose per-flow state would be unbounded. Comfortably above
+// regexparse.MaxRepeatCount plus any realistic trailing-segment length.
+const MaxCounterGap = 1 << 12
+
+// MaxCounters bounds how many counters one program may declare: the
+// Action slots addressing them are int16, and each counter costs per-flow
+// state, so the cap also bounds what a decoded program can demand.
+const MaxCounters = 4096
+
+// Counter is the static descriptor of one counter register: the inclusive
+// window, in bytes of gap distance, within which a recorded witness
+// satisfies the counter's test. For a rule A X{n,m} B with fixed B-length
+// L, MinGap = n + L and MaxGap = m + L.
+type Counter struct {
+	MinGap int32
+	MaxGap int32
+}
+
+// spanWords returns the number of bitmap words a counter's per-flow block
+// needs. The extra word guarantees that rebasing by whole words (the only
+// rebase granularity) can always bring a new witness position in range
+// without dropping an unexpired one: (spanWords-1)*64 >= MaxGap+1.
+func (c Counter) spanWords() int {
+	return int(c.MaxGap+1+63)/64 + 1
+}
+
+// AddCounter registers a counter with the given witness window, returning
+// its 1-based index for use in Action.SetCtr/TestCtr/ResetCtr. It panics
+// on out-of-range bounds: the splitter derives them, so a bad value is a
+// construction bug. Untrusted inputs are validated by ReadProgram.
+func (p *Program) AddCounter(minGap, maxGap int32) int16 {
+	if err := checkCounter(Counter{MinGap: minGap, MaxGap: maxGap}); err != nil {
+		panic(err.Error())
+	}
+	if len(p.counters) >= MaxCounters {
+		panic(fmt.Sprintf("filter: more than %d counters", MaxCounters))
+	}
+	p.counters = append(p.counters, Counter{MinGap: minGap, MaxGap: maxGap})
+	p.ctrLayout()
+	return int16(len(p.counters))
+}
+
+// checkCounter validates one counter descriptor; shared by the
+// construction panic path and the decode error path.
+func checkCounter(c Counter) error {
+	if c.MinGap < 1 || c.MaxGap < c.MinGap || c.MaxGap > MaxCounterGap {
+		return fmt.Errorf("filter: counter window [%d,%d] outside [1,%d]", c.MinGap, c.MaxGap, MaxCounterGap)
+	}
+	return nil
+}
+
+// ctrLayout recomputes the flattened per-flow block offsets. Block i holds
+// one base word followed by spanWords bitmap words.
+func (p *Program) ctrLayout() {
+	p.ctrOff = p.ctrOff[:0]
+	total := 0
+	for _, c := range p.counters {
+		p.ctrOff = append(p.ctrOff, int32(total))
+		total += 1 + c.spanWords()
+	}
+	p.ctrTotal = total
+}
+
+// NumCounters returns the number of counter registers the program uses.
+func (p *Program) NumCounters() int { return len(p.counters) }
+
+// CounterBounds returns the descriptor of the 1-based counter c.
+func (p *Program) CounterBounds(c int16) Counter { return p.counters[c-1] }
+
+// CountersLen returns the per-flow counter-state size in words — the
+// length NewCounters allocates and SetContext accepts.
+func (p *Program) CountersLen() int { return p.ctrTotal }
+
+// Counters is one flow's counter state: the concatenated per-counter
+// blocks (base word, then bitmap words). Like Memory and Registers it is
+// owned by one flow at a time and not safe for concurrent use.
+type Counters []uint64
+
+// NewCounters allocates zeroed counter state for the program, or nil when
+// the program uses no counters.
+func (p *Program) NewCounters() Counters {
+	if p.ctrTotal == 0 {
+		return nil
+	}
+	return make(Counters, p.ctrTotal)
+}
+
+// Reset zeroes the counter state for reuse on a new flow.
+func (c Counters) Reset() {
+	for i := range c {
+		c[i] = 0
+	}
+}
+
+// Clone returns an independent copy, used when flow contexts are saved.
+func (c Counters) Clone() Counters {
+	if c == nil {
+		return nil
+	}
+	out := make(Counters, len(c))
+	copy(out, c)
+	return out
+}
+
+// ValidateCounters checks a restored (possibly truncated, zero-extended)
+// counter image against the program's layout: every counter base word
+// present in cs must lie in [0, pos]. Bases only ever hold positions the
+// flow has passed, so anything else marks a corrupted or foreign context;
+// a base beyond pos would additionally break ctrRecord's window
+// arithmetic. Bitmap bits are not constrained — stray witnesses cannot
+// index out of range, only report matches the context claimed.
+func (p *Program) ValidateCounters(cs Counters, pos int64) error {
+	for i := range p.counters {
+		off := int(p.ctrOff[i])
+		if off >= len(cs) {
+			break
+		}
+		if base := int64(cs[off]); base < 0 || base > pos {
+			return fmt.Errorf("filter: counter %d base %d outside [0,%d]", i+1, base, pos)
+		}
+	}
+	return nil
+}
+
+// ctrRecord records a witness at pos in counter c, rebasing the bitmap
+// window forward (in whole words) when pos has outrun it. Rebasing drops
+// only positions whose age already exceeds MaxGap+1 at pos — and ages
+// only grow — so no witness that could still satisfy a future test is
+// lost.
+func (p *Program) ctrRecord(cs Counters, c int16, pos int64) {
+	off := p.ctrOff[c-1]
+	w := p.counters[c-1].spanWords()
+	base := int64(cs[off])
+	bm := cs[off+1 : int(off)+1+w]
+	idx := pos - base
+	if idx < 0 {
+		// Unreachable under the SetContext invariant (base <= restore
+		// position, and positions only grow); dropping the witness is the
+		// safe degradation if it ever breaks.
+		return
+	}
+	if idx >= int64(w)*64 {
+		shift := idx/64 - int64(w-1)
+		if shift >= int64(w) {
+			for i := range bm {
+				bm[i] = 0
+			}
+		} else {
+			copy(bm, bm[shift:])
+			for i := int64(w) - shift; i < int64(w); i++ {
+				bm[i] = 0
+			}
+		}
+		base += shift * 64
+		cs[off] = uint64(base)
+		idx = pos - base
+	}
+	bm[idx>>6] |= 1 << uint(idx&63)
+}
+
+// ctrTest reports whether counter c holds a witness whose distance from
+// pos lies within the counter's [MinGap, MaxGap] window.
+func (p *Program) ctrTest(cs Counters, c int16, pos int64) bool {
+	ctr := p.counters[c-1]
+	off := p.ctrOff[c-1]
+	w := ctr.spanWords()
+	base := int64(cs[off])
+	bm := cs[off+1 : int(off)+1+w]
+	lo := pos - int64(ctr.MaxGap)
+	hi := pos - int64(ctr.MinGap)
+	if hi < base || lo >= base+int64(w)*64 {
+		return false
+	}
+	if lo < base {
+		lo = base
+	}
+	if hi >= base+int64(w)*64 {
+		hi = base + int64(w)*64 - 1
+	}
+	loIdx, hiIdx := lo-base, hi-base
+	loWord, hiWord := int(loIdx>>6), int(hiIdx>>6)
+	loMask := ^uint64(0) << uint(loIdx&63)
+	hiMask := ^uint64(0) >> uint(63-hiIdx&63)
+	if loWord == hiWord {
+		return bm[loWord]&loMask&hiMask != 0
+	}
+	if bm[loWord]&loMask != 0 || bm[hiWord]&hiMask != 0 {
+		return true
+	}
+	for i := loWord + 1; i < hiWord; i++ {
+		if bm[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ctrReset kills every witness recorded strictly before pos. It
+// implements the classed-gap invalidation rule: a byte outside the gap
+// class at pos invalidates every witness whose gap would contain that
+// byte, while a witness recorded at pos itself (the forbidden byte being
+// the recording fragment's final byte, not a gap byte) survives.
+func (p *Program) ctrReset(cs Counters, c int16, pos int64) {
+	off := p.ctrOff[c-1]
+	w := p.counters[c-1].spanWords()
+	base := int64(cs[off])
+	bm := cs[off+1 : int(off)+1+w]
+	idx := pos - base
+	if idx <= 0 {
+		return
+	}
+	if idx >= int64(w)*64 {
+		for i := range bm {
+			bm[i] = 0
+		}
+		return
+	}
+	word := int(idx >> 6)
+	for i := 0; i < word; i++ {
+		bm[i] = 0
+	}
+	bm[word] &= ^uint64(0) << uint(idx&63)
+}

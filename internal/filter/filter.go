@@ -76,6 +76,23 @@ type Action struct {
 	// rule's guard bit with a handful of mask operations, instead of one
 	// match event per rule per gap byte.
 	ClearGroup int32
+
+	// The counter-register extension (DESIGN.md §19) compiles bounded
+	// gaps A X{n,m} B without state expansion. Counters are 1-based like
+	// position registers; NoCtr (0) means unused.
+
+	// SetCtr records the current match position as a witness in the
+	// counter, or NoCtr.
+	SetCtr int16
+	// TestCtr requires the counter to hold a witness within its
+	// [MinGap, MaxGap] window of the current position for this action to
+	// take effect, or NoCtr. An empty counter fails the condition.
+	TestCtr int16
+	// ResetCtr kills every witness recorded strictly before the current
+	// position, or NoCtr. Emitted on the forbidden-class fragment of a
+	// classed bounded gap A [^X]{n,m} B: an X byte invalidates every
+	// witness whose gap would contain it.
+	ResetCtr int16
 }
 
 // DropAction is the action that unconditionally drops a match with no
@@ -106,12 +123,25 @@ func (a Action) String() string {
 	if a.SetPos != NoReg {
 		parts = append(parts, fmt.Sprintf("Record %d", a.SetPos))
 	}
+	if a.SetCtr != NoCtr {
+		parts = append(parts, fmt.Sprintf("Inc %d", a.SetCtr))
+	}
+	if a.ResetCtr != NoCtr {
+		parts = append(parts, fmt.Sprintf("Reset %d", a.ResetCtr))
+	}
 	body := strings.Join(parts, " and ")
 	if body == "" {
 		body = "Drop"
 	}
+	var conds []string
 	if a.GapReg != NoReg {
-		cond := fmt.Sprintf("Gap(%d) >= %d", a.GapReg, a.MinGap)
+		conds = append(conds, fmt.Sprintf("Gap(%d) >= %d", a.GapReg, a.MinGap))
+	}
+	if a.TestCtr != NoCtr {
+		conds = append(conds, fmt.Sprintf("Ctr(%d) in window", a.TestCtr))
+	}
+	if len(conds) > 0 {
+		cond := strings.Join(conds, " and ")
 		if body == "Drop" {
 			return cond
 		}
@@ -149,6 +179,12 @@ type Program struct {
 	memBits     int
 	numRegs     int
 	clearGroups [][]ClearOp // 1-based via ClearGroup-1
+
+	// Counter registers (counter.go): static descriptors plus the
+	// precomputed flattened layout of per-flow counter blocks.
+	counters []Counter
+	ctrOff   []int32 // block offset of each counter in a Counters slice
+	ctrTotal int     // total words of per-flow counter state
 }
 
 // NewProgram returns a program with capacity for internal ids
@@ -191,6 +227,11 @@ func (p *Program) CheckAction(id int32, a Action) error {
 	}
 	if a.GapReg != NoReg && a.MinGap < 1 {
 		return fmt.Errorf("filter: action %d: gap action needs MinGap >= 1, got %d", id, a.MinGap)
+	}
+	for _, ctr := range []int16{a.SetCtr, a.TestCtr, a.ResetCtr} {
+		if ctr != NoCtr && (ctr < 1 || int(ctr) > len(p.counters)) {
+			return fmt.Errorf("filter: action %d: counter %d out of range [1,%d]", id, ctr, len(p.counters))
+		}
 	}
 	if a.ClearGroup < 0 || int(a.ClearGroup) > len(p.clearGroups) {
 		return fmt.Errorf("filter: action %d: clear group %d out of range [0,%d]", id, a.ClearGroup, len(p.clearGroups))
@@ -263,9 +304,15 @@ func (p *Program) NumActiveActions() int {
 // MemoryImageBytes returns the static storage the filter engine needs:
 // the action table at 16 bytes per entry (five int16 indices, an int32
 // report id and an int32 gap, with alignment), mirroring the paper's
-// bytecode layout discussion extended with the counting registers.
+// bytecode layout discussion extended with the counting registers. A
+// program with counter registers pays the wider 24-byte action record
+// (three more int16 slots, with alignment) plus 8 bytes per counter
+// descriptor.
 func (p *Program) MemoryImageBytes() int {
-	return len(p.actions) * 16
+	if len(p.counters) == 0 {
+		return len(p.actions) * 16
+	}
+	return len(p.actions)*24 + len(p.counters)*8
 }
 
 // String renders the whole program in the style of the paper's Table III.
@@ -369,8 +416,17 @@ func (p *Program) Apply(m Memory, id int32) (reportID int32, confirmed bool) {
 }
 
 // ApplyAt is Apply extended with the counting-condition state: the flow's
-// position registers and the current match position.
+// position registers and the current match position. Programs with
+// counter registers must go through ApplyAll (ApplyAt treats every
+// counter test as failed).
 func (p *Program) ApplyAt(m Memory, regs Registers, id int32, pos int64) (reportID int32, confirmed bool) {
+	return p.ApplyAll(m, regs, nil, id, pos)
+}
+
+// ApplyAll is the full filtering transition function: ApplyAt extended
+// with the flow's counter state. A nil cs fails every counter test and
+// drops counter updates, mirroring how a nil regs fails gap conditions.
+func (p *Program) ApplyAll(m Memory, regs Registers, cs Counters, id int32, pos int64) (reportID int32, confirmed bool) {
 	a := p.Action(id)
 	if a.Test != NoBit && !m.Bit(a.Test) {
 		return 0, false
@@ -384,8 +440,19 @@ func (p *Program) ApplyAt(m Memory, regs Registers, id int32, pos int64) (report
 			return 0, false
 		}
 	}
+	if a.TestCtr != NoCtr {
+		if cs == nil || !p.ctrTest(cs, a.TestCtr, pos) {
+			return 0, false
+		}
+	}
 	if a.SetPos != NoReg && regs != nil && regs[a.SetPos-1] == 0 {
 		regs[a.SetPos-1] = pos + 1
+	}
+	if a.SetCtr != NoCtr && cs != nil {
+		p.ctrRecord(cs, a.SetCtr, pos)
+	}
+	if a.ResetCtr != NoCtr && cs != nil {
+		p.ctrReset(cs, a.ResetCtr, pos)
 	}
 	if a.Set != NoBit {
 		m.setBit(a.Set)

@@ -218,14 +218,19 @@ func (b *builder) compile(n *regexparse.Node) (frag, error) {
 // compileRepeat expands {n,m} by duplication: n mandatory copies followed
 // by m-n optional copies, or a trailing star for an unbounded tail.
 func (b *builder) compileRepeat(n *regexparse.Node) (frag, error) {
-	copies := n.Min
+	// Count the exact number of fragment copies the expansion below
+	// creates: a bounded {n,m} becomes m copies (n mandatory, m-n
+	// optional); an unbounded {n,} becomes n mandatory copies plus one
+	// trailing star. The former guard charged every repeat for the
+	// trailing star and so rejected bounded repeats one copy early.
+	count := n.Min + 1
 	if n.Max != regexparse.InfiniteRepeat {
-		copies = n.Max
+		count = n.Max
 	}
-	if copies+1 > MaxExpandedRepeat {
+	if count > MaxExpandedRepeat {
 		return frag{}, fmt.Errorf("repeat {%d,%d} expands beyond %d copies", n.Min, n.Max, MaxExpandedRepeat)
 	}
-	parts := make([]*regexparse.Node, 0, copies+1)
+	parts := make([]*regexparse.Node, 0, count)
 	for i := 0; i < n.Min; i++ {
 		parts = append(parts, n.Sub)
 	}

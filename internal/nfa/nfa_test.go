@@ -207,6 +207,48 @@ func TestRepeatExpansionLimit(t *testing.T) {
 	}
 }
 
+// TestRepeatExpansionBoundary pins the expansion cap at exactly
+// MaxExpandedRepeat parts for both repeat forms: a bounded {n,m} costs m
+// copies (no trailing star), an unbounded {n,} costs n copies plus one
+// star. The nodes are built directly because the parser's own repeat cap
+// sits below MaxExpandedRepeat.
+func TestRepeatExpansionBoundary(t *testing.T) {
+	sub := regexparse.NewClassNode(regexparse.SingleClass('a'))
+	cases := []struct {
+		min, max int
+		ok       bool
+	}{
+		{MaxExpandedRepeat, MaxExpandedRepeat, true},
+		{0, MaxExpandedRepeat, true},
+		{MaxExpandedRepeat, MaxExpandedRepeat + 1, false},
+		{0, MaxExpandedRepeat + 1, false},
+		{MaxExpandedRepeat - 1, regexparse.InfiniteRepeat, true},
+		{MaxExpandedRepeat, regexparse.InfiniteRepeat, false},
+	}
+	for _, tc := range cases {
+		n := &regexparse.Node{Op: regexparse.OpRepeat, Min: tc.min, Max: tc.max, Sub: sub}
+		_, err := BuildSingle(n)
+		if tc.ok && err != nil {
+			t.Errorf("{%d,%d}: unexpected error: %v", tc.min, tc.max, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("{%d,%d}: expected expansion-limit error", tc.min, tc.max)
+		}
+	}
+
+	// The bounded form at the cap must not just build but match.
+	n := &regexparse.Node{Op: regexparse.OpRepeat, Min: MaxExpandedRepeat, Max: MaxExpandedRepeat, Sub: sub}
+	a, err := BuildSingle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(a)
+	input := strings.Repeat("a", MaxExpandedRepeat)
+	got := e.Run([]byte(input))
+	want := []MatchEvent{{0, int64(MaxExpandedRepeat - 1)}}
+	assertEvents(t, got, want)
+}
+
 // TestAgainstStdlibRegexp cross-checks match positions against Go's
 // regexp package on random inputs for a set of patterns expressible in
 // both engines.

@@ -43,8 +43,21 @@ type Info struct {
 }
 
 // Names returns the available set names in the paper's Table V order.
+// The bounded-repeat sets (CounterNames) are deliberately excluded: the
+// default harness builds every named set by expansion, which CTR24 is
+// designed to defeat.
 func Names() []string {
 	return []string{"B217p", "C7p", "C8", "C10", "S24", "S31p", "S34"}
+}
+
+// CounterNames returns the heavy bounded-repeat sets of the counter
+// experiment. CTR8's windows are small enough that the state-expanded
+// encoding still builds, giving a direct size/throughput comparison;
+// CTR24's windows make subset construction track which of the last ~200
+// positions ended an A-match, so its expanded DFA exceeds any practical
+// state budget and only the counter-register path can compile it.
+func CounterNames() []string {
+	return []string{"CTR8", "CTR24"}
 }
 
 // Describe returns metadata for every named set.
@@ -82,6 +95,10 @@ func describe(name string) string {
 		return "Snort-style: larger mix with restored commented rules"
 	case "S34":
 		return "Snort-style: medium mix"
+	case "CTR8":
+		return "bounded-repeat: small windows, buildable both ways"
+	case "CTR24":
+		return "bounded-repeat: wide windows, expansion-infeasible"
 	default:
 		return ""
 	}
@@ -121,6 +138,10 @@ func Sources(name string) ([]string, error) {
 		return s31p(), nil
 	case "S34":
 		return s34(), nil
+	case "CTR8":
+		return ctr8(), nil
+	case "CTR24":
+		return ctr24(), nil
 	default:
 		return nil, fmt.Errorf("patterns: unknown set %q (known: %s)",
 			name, strings.Join(Names(), ", "))
@@ -236,6 +257,50 @@ func s24() []string { return sFamily('p', 8, 2, 9, 2, 3) }
 func s31p() []string { return sFamily('q', 17, 2, 13, 2, 6) }
 
 func s34() []string { return sFamily('r', 13, 2, 12, 2, 5) }
+
+// ctr8: 8 Snort-style bounded-repeat rules A.{n,m}B / A[^\n]{n,m}B with
+// windows small enough (m <= 12) that repeat expansion still builds a
+// DFA: the comparison set for measuring what counter compilation saves
+// when both encodings exist.
+func ctr8() []string {
+	var out []string
+	for i := 0; i < 4; i++ {
+		out = append(out, fmt.Sprintf("%s.{%d,%d}%s",
+			word('y', 2*i, 1), 4+i, 9+i, word('y', 2*i+1, 1)))
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, fmt.Sprintf(`%s[^\n]{%d,%d}%s`,
+			word('z', 2*i, 1), 3+i, 10+i, word('z', 2*i+1, 1)))
+	}
+	out = append(out, fmt.Sprintf("%s.{5,12}%s", word('y', 8, 2), word('y', 9, 2)))
+	return out
+}
+
+// ctr24: 24 bounded-repeat rules whose windows reach into the hundreds —
+// Snort distance/within-style constraints. An unanchored A.{n,m}B forces
+// the subset construction to track which of the last m positions ended
+// an A-match (exponentially many subsets), so the expanded DFA blows
+// through its state budget and only counter registers can compile the
+// set.
+func ctr24() []string {
+	var out []string
+	for i := 0; i < 12; i++ {
+		n := 40 + 15*i
+		out = append(out, fmt.Sprintf("%s.{%d,%d}%s",
+			word('y', 20+2*i, 1), n, n+60+5*i, word('y', 21+2*i, 1)))
+	}
+	for i := 0; i < 8; i++ {
+		n := 30 + 20*i
+		out = append(out, fmt.Sprintf(`%s[^\n]{%d,%d}%s`,
+			word('z', 20+2*i, 1), n, n+80, word('z', 21+2*i, 1)))
+	}
+	// Four chained rules: dot-star guard into a wide bounded window.
+	for i := 0; i < 4; i++ {
+		out = append(out, fmt.Sprintf("%s.*%s.{%d,%d}%s",
+			word('y', 50+3*i, 1), word('y', 51+3*i, 1), 50+10*i, 160+10*i, word('y', 52+3*i, 1)))
+	}
+	return out
+}
 
 // b217p: 224 rules, mostly unanchored strings; the 24 dot-star rules arm
 // ~32 independent gap flags, so the undecomposed DFA must exceed any

@@ -8,6 +8,7 @@ import (
 	"matchfilter/internal/core"
 	"matchfilter/internal/dfa"
 	"matchfilter/internal/nfa"
+	"matchfilter/internal/splitter"
 )
 
 func TestNamesAndDescribe(t *testing.T) {
@@ -169,4 +170,68 @@ func TestCSetsExplosive(t *testing.T) {
 	if dfaQ < 50*mfaQ {
 		t.Errorf("C7p should explode: DFA=%d MFA=%d", dfaQ, mfaQ)
 	}
+}
+
+// TestCounterSets verifies the bounded-repeat sets' defining claims:
+// CTR8 builds under both encodings (and counters shrink it); CTR24 is
+// expansion-infeasible — subset construction exceeds its state budget —
+// while the counter-register path compiles it at NFA scale.
+func TestCounterSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constructs large automata")
+	}
+	load := func(name string) []core.Rule {
+		rules, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreRules := make([]core.Rule, len(rules))
+		for i, r := range rules {
+			coreRules[i] = core.Rule{Pattern: r.Pattern, ID: r.ID}
+		}
+		return coreRules
+	}
+	counterOpts := core.Options{Splitter: splitter.Options{EnableCounters: true}}
+
+	// CTR8: both encodings build; the counter build uses counters and is
+	// smaller.
+	expanded, err := core.Compile(load("CTR8"), core.Options{})
+	if err != nil {
+		t.Fatalf("CTR8 expanded: %v", err)
+	}
+	counted, err := core.Compile(load("CTR8"), counterOpts)
+	if err != nil {
+		t.Fatalf("CTR8 counters: %v", err)
+	}
+	if counted.Stats().Counters != 8 || counted.Stats().Split.CounterSplits != 8 {
+		t.Fatalf("CTR8 counter build stats: %+v", counted.Stats().Split)
+	}
+	t.Logf("CTR8 expanded=%d states, counters=%d states",
+		expanded.Stats().DFAStates, counted.Stats().DFAStates)
+	if counted.Stats().DFAStates*2 > expanded.Stats().DFAStates {
+		t.Errorf("CTR8: counters should shrink the automaton: %d vs %d",
+			counted.Stats().DFAStates, expanded.Stats().DFAStates)
+	}
+
+	// CTR24: expansion must fail on the state budget, counters must build.
+	// The budget is capped below the default here so the doomed subset
+	// construction fails in seconds instead of minutes (under -race the
+	// full 2^17 walk alone blows the package test timeout); the
+	// default-budget failure is the bench experiment's claim
+	// (EXPERIMENTS.md "Bounded repeats") and CI's counter-report guard.
+	capped := core.Options{}
+	capped.DFA.MaxStates = 1 << 14
+	if _, err := core.Compile(load("CTR24"), capped); !errors.Is(err, dfa.ErrTooManyStates) {
+		t.Fatalf("CTR24 expanded build: want ErrTooManyStates, got %v", err)
+	}
+	big, err := core.Compile(load("CTR24"), counterOpts)
+	if err != nil {
+		t.Fatalf("CTR24 counters: %v", err)
+	}
+	st := big.Stats()
+	if st.Counters != 24 || st.Split.CounterSplits != 24 {
+		t.Fatalf("CTR24 counter build stats: Counters=%d %+v", st.Counters, st.Split)
+	}
+	t.Logf("CTR24 counters: %d states, %d counters, %d B image",
+		st.DFAStates, st.Counters, st.MemoryImageBytes())
 }

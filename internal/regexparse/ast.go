@@ -274,6 +274,29 @@ func (n *Node) CountGap() (minGap int, ok bool) {
 	return n.Min, true
 }
 
+// BoundedGap reports whether n has the form X{n,m} for a finite m ≥ 1 over
+// a single-byte class — a bounded counting gap, the construct the counter
+// registers of DESIGN.md §19 compile instead of expanding by duplication —
+// and returns the bounds, the negated class that must not occur in the gap
+// (empty when X is the full alphabet, i.e. the gap is `.{n,m}`), and
+// whether the gap class is the full alphabet.
+func (n *Node) BoundedGap() (minGap, maxGap int, negated Class, full bool, ok bool) {
+	if n.Op != OpRepeat || n.Max == InfiniteRepeat || n.Max < 1 || n.Min > n.Max {
+		return 0, 0, Class{}, false, false
+	}
+	if n.Sub.Op != OpClass {
+		return 0, 0, Class{}, false, false
+	}
+	cnt := n.Sub.Class.Count()
+	if cnt == 0 {
+		return 0, 0, Class{}, false, false
+	}
+	if cnt == AlphabetSize {
+		return n.Min, n.Max, Class{}, true, true
+	}
+	return n.Min, n.Max, n.Sub.Class.Negate(), false, true
+}
+
 // String renders the node back to regex source. The output reparses to an
 // equivalent AST; it is not guaranteed to be byte-identical to the input.
 func (n *Node) String() string {

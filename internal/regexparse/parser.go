@@ -6,11 +6,13 @@ import (
 	"strings"
 )
 
-// MaxRepeatCount bounds the {n,m} counts the parser accepts. Bounded
-// repeats are expanded by duplication during NFA construction, so very
-// large counts would blow up automaton size; security rule sets stay far
-// below this bound in practice.
-const MaxRepeatCount = 255
+// MaxRepeatCount bounds the {n,m} counts the parser accepts. It guards
+// against absurd counts in hostile rule text; real blowup protection lives
+// downstream — nfa.MaxExpandedRepeat caps duplication-expanded repeats,
+// and large bounded gaps compile to counter registers (DESIGN.md §19)
+// without expanding at all. Snort-style rules use counts in the hundreds
+// (`[^\n]{500}` and the like), which this bound must admit.
+const MaxRepeatCount = 1000
 
 // ErrUnsupported wraps syntax the engine deliberately does not implement
 // (back-references, look-around, the $ anchor). Callers can detect it with

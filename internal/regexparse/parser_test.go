@@ -198,7 +198,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseUnsupported(t *testing.T) {
-	unsupported := []string{"a$", "a^b", `a\bword`, `(a)\1`, "(?=x)a", "(?<name>a)", "a{999}"}
+	unsupported := []string{"a$", "a^b", `a\bword`, `(a)\1`, "(?=x)a", "(?<name>a)", "a{1001}", "a{2,9999}"}
 	for _, src := range unsupported {
 		_, err := Parse(src)
 		if !errors.Is(err, ErrUnsupported) {
@@ -469,5 +469,63 @@ func TestPatternString(t *testing.T) {
 	p := mustParse(t, "^abc.*def")
 	if p.String() != "^abc.*def" {
 		t.Errorf("Pattern.String() = %q", p.String())
+	}
+}
+
+func TestParseRepeatBoundary(t *testing.T) {
+	// MaxRepeatCount itself is accepted on both bounds; one past it is
+	// rejected (covered by TestParseUnsupported). The boundary matters:
+	// counter-register rules (DESIGN.md §19) use windows far above the
+	// old 255-expansion comfort zone.
+	for _, src := range []string{"a{1000}", "a{1000,}", "a{2,1000}", "a{1000,1000}"} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) should accept counts up to MaxRepeatCount: %v", src, err)
+		}
+	}
+	p := mustParse(t, "a{1000,1000}")
+	if p.Root.Min != MaxRepeatCount || p.Root.Max != MaxRepeatCount {
+		t.Errorf("a{1000,1000}: got min=%d max=%d", p.Root.Min, p.Root.Max)
+	}
+}
+
+func TestBoundedGap(t *testing.T) {
+	tests := []struct {
+		src              string
+		minGap, maxGap   int
+		full, ok         bool
+		negatedHasByte   byte
+		negatedByteCount int
+	}{
+		{src: ".{3,7}", minGap: 3, maxGap: 7, full: true, ok: true},
+		{src: ".{0,40}", minGap: 0, maxGap: 40, full: true, ok: true},
+		{src: `[^\n]{2,9}`, minGap: 2, maxGap: 9, ok: true, negatedHasByte: '\n', negatedByteCount: 1},
+		{src: "[^ab]{1,4}", minGap: 1, maxGap: 4, ok: true, negatedHasByte: 'b', negatedByteCount: 2},
+		// A repeat of the 1-byte class {a} qualifies too: a bounded gap
+		// over X = ¬{a} with 255 forbidden bytes.
+		{src: "a{3,7}", minGap: 3, maxGap: 7, ok: true, negatedHasByte: 'b', negatedByteCount: 255},
+		{src: ".{3,}"}, // unbounded: counting gap, not a bounded gap
+		{src: ".*"},
+		{src: "(ab){2,4}"}, // multi-byte sub: not a single-class gap
+	}
+	for _, tt := range tests {
+		p := mustParse(t, tt.src)
+		minGap, maxGap, negated, full, ok := p.Root.BoundedGap()
+		if ok != tt.ok {
+			t.Errorf("%q: BoundedGap ok=%v, want %v", tt.src, ok, tt.ok)
+			continue
+		}
+		if !tt.ok {
+			continue
+		}
+		if minGap != tt.minGap || maxGap != tt.maxGap || full != tt.full {
+			t.Errorf("%q: got (%d,%d,full=%v), want (%d,%d,full=%v)",
+				tt.src, minGap, maxGap, full, tt.minGap, tt.maxGap, tt.full)
+		}
+		if tt.negatedByteCount > 0 {
+			if !negated.Contains(tt.negatedHasByte) || negated.Count() != tt.negatedByteCount {
+				t.Errorf("%q: negated class wrong: has(%q)=%v count=%d",
+					tt.src, tt.negatedHasByte, negated.Contains(tt.negatedHasByte), negated.Count())
+			}
+		}
 	}
 }

@@ -28,6 +28,12 @@ import (
 // would fire on too much traffic and the decomposition is skipped.
 const DefaultMaxClassSize = 128
 
+// DefaultCounterThreshold is the minimum upper bound m of a bounded gap
+// X{n,m} for the counter-register decomposition to apply. Small repeats
+// expand to a handful of DFA states, cheaper than per-flow counter state
+// and an extra filter event per occurrence.
+const DefaultCounterThreshold = 8
+
 // Rule is one input regex with the id its matches must report.
 type Rule struct {
 	Pattern *regexparse.Pattern
@@ -62,6 +68,16 @@ type Options struct {
 	// segment has a fixed length. Off by default so the baselines match
 	// the published construction.
 	EnableCounting bool
+	// EnableCounters turns on the counter-register extension (DESIGN.md
+	// §19): bounded gaps X{n,m} with finite m — full-alphabet .{n,m} or
+	// classed [^Y]{n,m} — compile to filter counters instead of
+	// duplication-expanded states, provided the trailing segment has a
+	// fixed length. Off by default so the baselines match the published
+	// construction.
+	EnableCounters bool
+	// CounterThreshold overrides DefaultCounterThreshold when positive:
+	// bounded gaps with m below it stay duplication-expanded.
+	CounterThreshold int
 	// PrependAnchors restores the paper's §IV-C anchored handling: the
 	// anchored start pattern is prepended (with a gap) to every later
 	// fragment of an anchored rule. Semantically redundant — a fragment
@@ -73,19 +89,22 @@ type Options struct {
 
 // Stats counts what the splitter did, for construction reports.
 type Stats struct {
-	RulesTotal        int
-	RulesDecomposed   int
-	DotStarSplits     int
-	AlmostSplits      int
-	CountingSplits    int
-	RefusedOverlap    int
-	RefusedInfix      int
-	RefusedClassSize  int
-	RefusedXInB       int
-	RefusedXFinalInA  int
-	RefusedCascade    int // rejected because a separator to the right was refused
-	RefusedStructural int // no top-level concat / empty segment
-	RefusedVarLength  int // counting gap whose trailing segment has variable length
+	RulesTotal         int
+	RulesDecomposed    int
+	DotStarSplits      int
+	AlmostSplits       int
+	CountingSplits     int
+	RefusedOverlap     int
+	RefusedInfix       int
+	RefusedClassSize   int
+	RefusedXInB        int
+	RefusedXFinalInA   int
+	RefusedCascade     int // rejected because a separator to the right was refused
+	RefusedStructural  int // no top-level concat / empty segment
+	RefusedVarLength   int // counting gap whose trailing segment has variable length
+	CounterSplits      int // bounded gaps compiled to counter registers
+	RefusedCounterXInB int // classed bounded gap whose forbidden class occurs in B
+	RefusedCounterSpan int // bounded gap whose window exceeds filter.MaxCounterGap (or counter budget)
 }
 
 // Result is the splitter output: the fragment set for DFA construction,
@@ -102,7 +121,10 @@ type Result struct {
 	// share a single [X] fragment (the §IV-C action merging), so one gap
 	// byte costs one filter event regardless of how many rules watch it.
 	ClearGroups [][]int16
-	Stats       Stats
+	// Counters are the counter-register descriptors (1-based from the
+	// Actions' point of view) the bounded-gap extension allocated.
+	Counters []filter.Counter
+	Stats    Stats
 }
 
 // Program builds the filter program corresponding to the result.
@@ -110,6 +132,9 @@ func (r *Result) Program() *filter.Program {
 	p := filter.NewProgramRegs(len(r.Actions), maxInt(r.MemBits, 1), r.NumRegs)
 	for _, bits := range r.ClearGroups {
 		p.AddClearGroup(bits)
+	}
+	for _, c := range r.Counters {
+		p.AddCounter(c.MinGap, c.MaxGap)
 	}
 	for id := 1; id < len(r.Actions); id++ {
 		p.SetAction(int32(id), r.Actions[id])
@@ -132,6 +157,7 @@ const (
 	dotStarSep
 	almostSep
 	countSep
+	boundedSep
 )
 
 // splitState carries the per-rule-set state of Algorithm 1's RegexSplit.
@@ -227,6 +253,45 @@ func (st *splitState) allocReg() int16 {
 	return st.nextReg
 }
 
+// allocCtr reserves the next counter register (1-based) with the given
+// witness window.
+func (st *splitState) allocCtr(minGap, maxGap int32) int16 {
+	st.result.Counters = append(st.result.Counters, filter.Counter{MinGap: minGap, MaxGap: maxGap})
+	return int16(len(st.result.Counters))
+}
+
+// counterThreshold returns the effective bounded-gap threshold.
+func (st *splitState) counterThreshold() int {
+	if st.opts.CounterThreshold > 0 {
+		return st.opts.CounterThreshold
+	}
+	return DefaultCounterThreshold
+}
+
+// boundedSepInfo reports whether a node qualifies as a bounded-gap
+// separator under the current options: a BoundedGap shape whose upper
+// bound reaches the counter threshold and whose forbidden class (if any)
+// is below the class-size threshold. Returning false here merges the node
+// into the adjacent segments for duplication expansion, which stays
+// correct — counters only ever trade states for filter work.
+func (st *splitState) boundedSepInfo(n *regexparse.Node) (x regexparse.Class, minGap, maxGap int, ok bool) {
+	if !st.opts.EnableCounters {
+		return regexparse.Class{}, 0, 0, false
+	}
+	minGap, maxGap, x, full, ok := n.BoundedGap()
+	if !ok || maxGap < st.counterThreshold() {
+		return regexparse.Class{}, 0, 0, false
+	}
+	if !full && x.Count() >= st.opts.MaxClassSize {
+		// Not counted in RefusedClassSize: this helper runs once per node
+		// per phase (shape detection, trimming, classification) and would
+		// multi-count; an over-threshold class simply keeps the node out
+		// of separator position.
+		return regexparse.Class{}, 0, 0, false
+	}
+	return x, minGap, maxGap, true
+}
+
 // emit appends a fragment reporting the given internal id. anchored
 // applies only to the first fragment of an anchored rule: later fragments
 // search the whole flow, and their guard bits — set only after the
@@ -275,22 +340,50 @@ func (st *splitState) splitRule(r Rule) error {
 	// because a refused gap may only live in the leftmost fragment.
 	kinds := make([]separatorKind, len(seps))
 	xs := make([]regexparse.Class, len(seps))
-	gaps := make([]int, len(seps)) // minimum gap for countSep entries
+	gaps := make([]int, len(seps)) // minimum gap for countSep/boundedSep entries
+	maxs := make([]int, len(seps)) // maximum gap for boundedSep entries
 	k := 0
 	for i := len(seps) - 1; i >= 0; i-- {
-		kind, x, minGap := st.classify(seps[i])
+		kind, x, minGap, maxGap := st.classify(seps[i])
 		safe := kind != notSeparator
-		if safe && kind == countSep {
+		if safe && (kind == countSep || kind == boundedSep) {
 			// The gap test recovers the trailing fragment's start from
 			// its end, which needs a fixed match length. This condition
 			// is not skippable: without it the filter arithmetic is
 			// simply undefined.
-			if _, fixed := segments[i+1].FixedLength(); !fixed {
+			lenB, fixed := segments[i+1].FixedLength()
+			if !fixed {
 				st.result.Stats.RefusedVarLength++
 				safe = false
+			} else if kind == boundedSep {
+				switch {
+				case lenB < 1:
+					// A zero-length trailing segment would test and record
+					// at the same position; refuse rather than reason
+					// about event ordering.
+					st.result.Stats.RefusedVarLength++
+					safe = false
+				case maxGap+lenB > filter.MaxCounterGap,
+					len(st.result.Counters) >= filter.MaxCounters-len(seps):
+					st.result.Stats.RefusedCounterSpan++
+					safe = false
+				case x.Count() != 0:
+					// A classed gap [^X]{n,m} is invalidated by X bytes
+					// via reset events; X occurring inside B would fire a
+					// reset mid-B and kill a still-valid witness, so this
+					// condition (like fixed length) is not skippable.
+					inB, err := classAppearsIn(x, segments[i+1])
+					if err != nil {
+						return err
+					}
+					if inB {
+						st.result.Stats.RefusedCounterXInB++
+						safe = false
+					}
+				}
 			}
 		}
-		if safe && kind != countSep && !st.opts.DisableSafetyChecks {
+		if safe && kind != countSep && kind != boundedSep && !st.opts.DisableSafetyChecks {
 			var err error
 			safe, err = st.checkSafety(kind, x, segments[i], segments[i+1])
 			if err != nil {
@@ -302,7 +395,7 @@ func (st *splitState) splitRule(r Rule) error {
 			st.result.Stats.RefusedCascade += i
 			break
 		}
-		kinds[i], xs[i], gaps[i] = kind, x, minGap
+		kinds[i], xs[i], gaps[i], maxs[i] = kind, x, minGap, maxGap
 	}
 
 	// Phase 2 (left to right): merge segments[0..k] and seps[0..k-1] into
@@ -344,7 +437,8 @@ func (st *splitState) splitRule(r Rule) error {
 	for i := k; i < len(seps); i++ {
 		act := filter.Action{
 			Test: cond.Test, GapReg: cond.GapReg, MinGap: cond.MinGap,
-			Set: filter.NoBit, Clear: filter.NoBit, Report: filter.NoReport,
+			TestCtr: cond.TestCtr,
+			Set:     filter.NoBit, Clear: filter.NoBit, Report: filter.NoReport,
 		}
 		body, bodyAnchored := withAnchor(pending)
 		switch kinds[i] {
@@ -354,6 +448,26 @@ func (st *splitState) splitRule(r Rule) error {
 			lenB, _ := segments[i+1].FixedLength()
 			cond = filter.Action{Test: filter.NoBit, GapReg: reg, MinGap: int32(gaps[i] + lenB)}
 			st.result.Stats.CountingSplits++
+			st.emit(r, body, st.allocID(act), bodyAnchored || (first && r.Pattern.Anchored))
+		case boundedSep:
+			lenB, _ := segments[i+1].FixedLength()
+			ctr := st.allocCtr(int32(gaps[i]+lenB), int32(maxs[i]+lenB))
+			act.SetCtr = ctr
+			if xs[i].Count() != 0 {
+				// Classed gap: a shared-per-counter [X] fragment kills
+				// every witness whose gap would contain the forbidden
+				// byte. The reset is anchor-independent — an X byte
+				// invalidates outstanding witnesses whether or not the
+				// rule's head ever matched — so the fragment is always
+				// emitted unanchored.
+				resetID := st.allocID(filter.Action{
+					Test: filter.NoBit, Set: filter.NoBit, Clear: filter.NoBit,
+					Report: filter.NoReport, ResetCtr: ctr,
+				})
+				st.emit(r, regexparse.NewClassNode(xs[i]), resetID, false)
+			}
+			cond = filter.Action{Test: filter.NoBit, TestCtr: ctr}
+			st.result.Stats.CounterSplits++
 			st.emit(r, body, st.allocID(act), bodyAnchored || (first && r.Pattern.Anchored))
 		default:
 			bit := st.allocBit()
@@ -390,7 +504,8 @@ func (st *splitState) splitRule(r Rule) error {
 	finalBody, finalAnchored := withAnchor(pending)
 	finalID := st.allocID(filter.Action{
 		Test: cond.Test, GapReg: cond.GapReg, MinGap: cond.MinGap,
-		Set: filter.NoBit, Clear: filter.NoBit, Report: r.RuleID,
+		TestCtr: cond.TestCtr,
+		Set:     filter.NoBit, Clear: filter.NoBit, Report: r.RuleID,
 	})
 	st.emit(r, finalBody, finalID, finalAnchored)
 	st.result.Stats.RulesDecomposed++
@@ -398,31 +513,34 @@ func (st *splitState) splitRule(r Rule) error {
 }
 
 // classify decides whether a top-level node is a decomposition separator,
-// returning the negated class X for almost-dot-star and the minimum gap
-// for counting separators.
-func (st *splitState) classify(sep *regexparse.Node) (separatorKind, regexparse.Class, int) {
+// returning the negated class X for almost-dot-star and classed bounded
+// gaps, and the gap bounds for counting and bounded separators.
+func (st *splitState) classify(sep *regexparse.Node) (separatorKind, regexparse.Class, int, int) {
 	if sep.IsDotStar() {
 		if st.opts.DisableDotStar {
-			return notSeparator, regexparse.Class{}, 0
+			return notSeparator, regexparse.Class{}, 0, 0
 		}
-		return dotStarSep, regexparse.Class{}, 0
+		return dotStarSep, regexparse.Class{}, 0, 0
 	}
 	if x, ok := sep.NegatedClassStar(); ok {
 		if st.opts.DisableAlmostDotStar {
-			return notSeparator, regexparse.Class{}, 0
+			return notSeparator, regexparse.Class{}, 0, 0
 		}
 		if x.Count() >= st.opts.MaxClassSize {
 			st.result.Stats.RefusedClassSize++
-			return notSeparator, regexparse.Class{}, 0
+			return notSeparator, regexparse.Class{}, 0, 0
 		}
-		return almostSep, x, 0
+		return almostSep, x, 0, 0
 	}
 	if st.opts.EnableCounting {
 		if minGap, ok := sep.CountGap(); ok {
-			return countSep, regexparse.Class{}, minGap
+			return countSep, regexparse.Class{}, minGap, 0
 		}
 	}
-	return notSeparator, regexparse.Class{}, 0
+	if x, minGap, maxGap, ok := st.boundedSepInfo(sep); ok {
+		return boundedSep, x, minGap, maxGap
+	}
+	return notSeparator, regexparse.Class{}, 0, 0
 }
 
 // checkSafety applies the decomposition-validity conditions to a
@@ -490,7 +608,7 @@ func (st *splitState) topLevelSegments(p *regexparse.Pattern) (segments []*regex
 	// the gap may be empty — but a leading .{n,} is NOT: it demands n
 	// bytes before the next segment, so it is never trimmed.)
 	if !p.Anchored {
-		for len(subs) > 0 && isTrimmableLeading(subs[0]) {
+		for len(subs) > 0 && st.isTrimmableLeading(subs[0]) {
 			subs = subs[1:]
 		}
 	}
@@ -551,18 +669,27 @@ func (st *splitState) isSeparatorShape(n *regexparse.Node) bool {
 			return true
 		}
 	}
+	if _, _, _, ok := st.boundedSepInfo(n); ok {
+		return true
+	}
 	return false
 }
 
 // isTrimmableLeading reports whether a leading top-level node of an
 // unanchored rule is redundant with the implicit search prefix: .* and
-// [^X]* gaps may be empty, so dropping them changes nothing. A counting
-// gap .{n,} is not trimmable — it demands n bytes before the next
-// segment.
-func isTrimmableLeading(n *regexparse.Node) bool {
+// [^X]* gaps may be empty, so dropping them changes nothing — as may a
+// bounded gap X{0,m} when the counter extension would otherwise split on
+// it. A counting gap .{n,} or a bounded gap with n >= 1 is not trimmable —
+// it demands bytes before the next segment.
+func (st *splitState) isTrimmableLeading(n *regexparse.Node) bool {
 	if n.IsDotStar() {
 		return true
 	}
-	_, ok := n.NegatedClassStar()
-	return ok
+	if _, ok := n.NegatedClassStar(); ok {
+		return true
+	}
+	if _, minGap, _, ok := st.boundedSepInfo(n); ok && minGap == 0 {
+		return true
+	}
+	return false
 }

@@ -92,6 +92,17 @@ func WithCountingGaps() Option {
 	return func(c *config) { c.core.Splitter.EnableCounting = true }
 }
 
+// WithBoundedRepeatCounters enables the counter-register extension:
+// bounded gaps of the form X{n,m} (with m at or above the splitter's
+// counter threshold) are compiled to per-flow counter registers instead
+// of being expanded into up to m copies of automaton states, provided
+// the segment after the gap has a fixed length. Wide windows that make
+// subset construction infeasible under WithMaxStates become compilable;
+// match streams are unchanged.
+func WithBoundedRepeatCounters() Option {
+	return func(c *config) { c.core.Splitter.EnableCounters = true }
+}
+
 // WithMinimization enables DFA minimization after subset construction,
 // trading compile time for a smaller table.
 func WithMinimization() Option {

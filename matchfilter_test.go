@@ -202,3 +202,24 @@ func TestReadmeExample(t *testing.T) {
 		t.Errorf("hits: %v", hits)
 	}
 }
+
+func TestWithBoundedRepeatCounters(t *testing.T) {
+	// The wide window is uncompilable by expansion under this state
+	// budget; counters compile it and match exactly.
+	src := []string{"aaa.{60,200}bbb"}
+	if _, err := Compile(src, WithMaxStates(2000)); !errors.Is(err, ErrTooManyStates) {
+		t.Fatalf("expanded build: want ErrTooManyStates, got %v", err)
+	}
+	e, err := Compile(src, WithMaxStates(2000), WithBoundedRepeatCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := "aaa" + strings.Repeat("x", 60) + "bbb"
+	if got := e.Scan([]byte(hit)); len(got) != 1 {
+		t.Fatalf("in-window input: %v", got)
+	}
+	miss := "aaa" + strings.Repeat("x", 201) + "bbb"
+	if got := e.Scan([]byte(miss)); len(got) != 0 {
+		t.Fatalf("out-of-window input: %v", got)
+	}
+}
